@@ -1,0 +1,101 @@
+// Command nvexec launches the case-study web server as an N-variant
+// system in one of the paper's four Table 3 configurations and
+// exercises it: benign requests, then (optionally) the Chen-et-al
+// UID-forging attack. It is the reproduction's analogue of the paper's
+// `nvexec prog1 prog2` launcher script (§3.1).
+//
+// Usage:
+//
+//	nvexec -config 4 -attack
+//	nvexec -config 1 -requests 20
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"nvariant"
+	"nvariant/internal/attack"
+	"nvariant/internal/vos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nvexec:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configNum := flag.Int("config", 4, "Table 3 configuration (1=unmodified, 2=transformed, 3=2-variant address space, 4=2-variant UID)")
+	requests := flag.Int("requests", 5, "benign requests to issue before finishing")
+	doAttack := flag.Bool("attack", false, "mount the UID-forging attack after the benign requests")
+	flag.Parse()
+
+	if *configNum < 1 || *configNum > 4 {
+		return fmt.Errorf("config must be 1..4, got %d", *configNum)
+	}
+	cfg := nvariant.Configuration(*configNum)
+	fmt.Printf("launching %s (%d variant(s))\n", cfg, cfg.Variants())
+
+	h, err := nvariant.StartConfiguration(cfg, nvariant.HTTPServerOptions{}, 0)
+	if err != nil {
+		return err
+	}
+	client := h.Client()
+
+	for i := 0; i < *requests; i++ {
+		uri := []string{"/index.html", "/page1.html", "/about.html"}[i%3]
+		code, body, err := client.Get(uri)
+		if err != nil {
+			return fmt.Errorf("benign request %d: %w", i, err)
+		}
+		fmt.Printf("GET %-14s -> %d (%d bytes)\n", uri, code, len(body))
+	}
+
+	if *doAttack {
+		fmt.Println("\nmounting attack: overflow request corrupts the worker UID to root (0)...")
+		resp, err := client.Raw(attack.ForgeUIDPayload(vos.Root))
+		if err != nil {
+			return fmt.Errorf("overflow request: %w", err)
+		}
+		fmt.Printf("overflow request answered (%d bytes) — corruption planted\n", len(resp))
+
+		fmt.Println("trigger request: GET /private/secret.html (root-only document)...")
+		code, body, err := client.Get("/private/secret.html")
+		switch {
+		case err != nil:
+			fmt.Printf("attacker sees: connection dropped (%v)\n", err)
+		case code == 200:
+			fmt.Printf("attacker sees: 200 — SECRET LEAKED: %q\n", firstLine(body))
+		default:
+			fmt.Printf("attacker sees: %d\n", code)
+		}
+	}
+
+	res, err := h.Stop()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	switch {
+	case res.Alarm != nil:
+		fmt.Printf("MONITOR ALARM: %s\n", res.Alarm.Error())
+	case res.Clean:
+		fmt.Printf("clean exit (status %d, %d syscall rendezvous)\n", res.Status, res.Rendezvous)
+	default:
+		return errors.New("server terminated abnormally without an alarm")
+	}
+	return nil
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

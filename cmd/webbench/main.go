@@ -1,0 +1,97 @@
+// Command webbench runs the Table 3 performance experiment: the
+// WebBench-style load harness against the four configurations, in
+// unsaturated (1 engine) and saturated (15 engine) modes, printing the
+// measured table next to the paper's published values.
+//
+// Usage:
+//
+//	webbench                  # the full Table 3 matrix
+//	webbench -config 4        # one configuration, both operating points
+//	webbench -quick           # smaller run for a fast sanity check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nvariant/internal/experiments"
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/webbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configNum := flag.Int("config", 0, "run only this configuration (1..4); 0 = all")
+	quick := flag.Bool("quick", false, "smaller run sizes")
+	engines := flag.Int("engines", 15, "saturated engine count")
+	workFactor := flag.Int("work", 400, "per-request CPU work factor")
+	latency := flag.Duration("latency", time.Millisecond, "one-way wire latency")
+	flag.Parse()
+
+	opts := experiments.DefaultTable3Options()
+	opts.SatEngines = *engines
+	opts.WorkFactor = *workFactor
+	opts.Latency = *latency
+	if *quick {
+		opts.UnsatRequests = 80
+		opts.SatRequestsPerEngine = 15
+	}
+
+	if *configNum == 0 {
+		res, err := experiments.RunTable3(opts)
+		if err != nil {
+			return err
+		}
+		res.Fprint(os.Stdout)
+		if err := res.ShapeHolds(); err != nil {
+			fmt.Printf("\nWARNING: shape check: %v\n", err)
+		} else {
+			fmt.Printf("\nshape checks passed: the paper's qualitative claims hold on this substrate\n")
+		}
+		return nil
+	}
+
+	if *configNum < 1 || *configNum > 4 {
+		return fmt.Errorf("config must be 0..4, got %d", *configNum)
+	}
+	cfg := harness.Configuration(*configNum)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	serverOpts := httpd.Options{WorkFactor: opts.WorkFactor}
+	for _, load := range []struct {
+		name string
+		opts webbench.Options
+	}{
+		{"unsaturated", webbench.Options{Engines: 1, RequestsPerEngine: opts.UnsatRequests}},
+		{"saturated", webbench.Options{Engines: opts.SatEngines, RequestsPerEngine: opts.SatRequestsPerEngine}},
+	} {
+		h, err := harness.Start(cfg, serverOpts, opts.Latency)
+		if err != nil {
+			return err
+		}
+		m, err := webbench.Run(h.Net, h.Port, load.opts)
+		if err != nil {
+			return err
+		}
+		res, err := h.Stop()
+		if err != nil {
+			return err
+		}
+		if res.Alarm != nil {
+			return fmt.Errorf("false alarm under load: %s", res.Alarm)
+		}
+		fmt.Printf("%s %-12s %s\n", cfg, load.name, m)
+	}
+	return nil
+}

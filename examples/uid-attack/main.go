@@ -1,0 +1,91 @@
+// uid-attack reproduces the paper's case study end to end: the
+// Chen-et-al non-control-data attack against the vulnerable web
+// server, mounted against an unprotected deployment (configuration 1,
+// secret leaks) and against the 2-variant UID variation
+// (configuration 4, monitor kills the group at the first use of the
+// corrupted UID).
+//
+//	go run ./examples/uid-attack
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nvariant"
+	"nvariant/internal/attack"
+	"nvariant/internal/vos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uid-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, cfg := range []nvariant.Configuration{
+		nvariant.Config1Unmodified,
+		nvariant.Config4UIDVariation,
+	} {
+		fmt.Printf("=== %s ===\n", cfg)
+		if err := mount(cfg); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func mount(cfg nvariant.Configuration) error {
+	h, err := nvariant.StartConfiguration(cfg, nvariant.HTTPServerOptions{}, 0)
+	if err != nil {
+		return err
+	}
+	client := h.Client()
+
+	// Benign request first: both deployments serve normally.
+	code, _, err := client.Get("/index.html")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benign GET /index.html        -> %d\n", code)
+
+	// The root-only page is refused while the worker UID is intact.
+	code, _, err = client.Get("/private/secret.html")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benign GET /private/secret    -> %d (worker is unprivileged)\n", code)
+
+	// Step 1: overflow. 256 filler bytes spill 4 more into the
+	// adjacent worker-UID word, setting it to 0 (root) in every
+	// variant — the same bytes reach all variants by construction.
+	if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+		return fmt.Errorf("overflow request: %w", err)
+	}
+	fmt.Println("attack step 1: overflow corrupted the stored worker UID to 0")
+
+	// Step 2: trigger. The next request uses the corrupted UID.
+	code, body, err := client.Get("/private/secret.html")
+	switch {
+	case err != nil:
+		fmt.Printf("attack step 2: connection dropped (%v)\n", err)
+	case code == 200:
+		fmt.Printf("attack step 2: 200 — SECRET LEAKED (%d bytes)\n", len(body))
+	default:
+		fmt.Printf("attack step 2: %d\n", code)
+	}
+
+	res, err := h.Stop()
+	if err != nil {
+		return err
+	}
+	if res.Alarm != nil {
+		fmt.Printf("monitor: ALARM %s at %s — %s\n", res.Alarm.Reason, res.Alarm.Syscall, res.Alarm.Detail)
+	} else {
+		fmt.Println("monitor: no alarm (the attack went unnoticed)")
+	}
+	return nil
+}

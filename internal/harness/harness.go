@@ -1,0 +1,198 @@
+// Package harness launches the httpd case study in the four
+// configurations of Table 3 and manages server lifecycle for tests,
+// experiments and benchmarks:
+//
+//	Configuration 1 — unmodified httpd on the (monitoring-capable)
+//	                  kernel, single process
+//	Configuration 2 — UID-transformed httpd, single process
+//	Configuration 3 — 2-variant system with address-space partitioning
+//	                  and unshared-file support (the 2-variant baseline)
+//	Configuration 4 — 2-variant system running the UID data variation
+//	                  (on top of the configuration 3 baseline)
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"nvariant/internal/httpd"
+	"nvariant/internal/nvkernel"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/simnet"
+	"nvariant/internal/sys"
+	"nvariant/internal/vos"
+)
+
+// Configuration selects one of the paper's four Table 3 setups.
+type Configuration int
+
+// The four configurations of Table 3.
+const (
+	Config1Unmodified Configuration = iota + 1
+	Config2Transformed
+	Config3AddressSpace
+	Config4UIDVariation
+)
+
+// String names the configuration as in Table 3.
+func (c Configuration) String() string {
+	switch c {
+	case Config1Unmodified:
+		return "Unmodified Apache"
+	case Config2Transformed:
+		return "Transformed Apache"
+	case Config3AddressSpace:
+		return "2-Variant Address Space"
+	case Config4UIDVariation:
+		return "2-Variant UID"
+	default:
+		return "unknown"
+	}
+}
+
+// Variants returns the process-group size of the configuration.
+func (c Configuration) Variants() int {
+	if c == Config3AddressSpace || c == Config4UIDVariation {
+		return 2
+	}
+	return 1
+}
+
+// Build prepares the world and returns the variant programs plus
+// kernel options for the configuration.
+func Build(c Configuration, world *vos.World, serverOpts httpd.Options) ([]sys.Program, []nvkernel.Option, error) {
+	if err := httpd.SetupWorld(world); err != nil {
+		return nil, nil, err
+	}
+	switch c {
+	case Config1Unmodified:
+		return []sys.Program{httpd.New(serverOpts, httpd.Consts{Root: vos.Root})}, nil, nil
+
+	case Config2Transformed:
+		o := serverOpts
+		o.Transformed = true
+		return []sys.Program{httpd.New(o, httpd.Consts{Root: vos.Root})}, nil, nil
+
+	case Config3AddressSpace:
+		// Untransformed program, two variants in disjoint address
+		// partitions, kernel configured for unshared files (identity
+		// contents) — the paper's baseline for added-variation cost.
+		idFuncs := []reexpress.Func{reexpress.Identity{}, reexpress.Identity{}}
+		if err := nvkernel.SetupUnsharedPasswd(world, idFuncs); err != nil {
+			return nil, nil, err
+		}
+		progs := []sys.Program{
+			httpd.New(serverOpts, httpd.Consts{Root: vos.Root}),
+			httpd.New(serverOpts, httpd.Consts{Root: vos.Root}),
+		}
+		opts := []nvkernel.Option{
+			nvkernel.WithAddressPartition(),
+			nvkernel.WithUnsharedFiles("/etc/passwd", "/etc/group"),
+		}
+		return progs, opts, nil
+
+	case Config4UIDVariation:
+		pair := reexpress.UIDVariation().Pair
+		if err := nvkernel.SetupUnsharedPasswd(world, pair.Funcs()); err != nil {
+			return nil, nil, err
+		}
+		progs, err := httpd.BuildVariants(serverOpts, pair.Funcs())
+		if err != nil {
+			return nil, nil, err
+		}
+		opts := []nvkernel.Option{
+			nvkernel.WithAddressPartition(),
+			nvkernel.WithUIDVariation(pair),
+			nvkernel.WithUnsharedFiles("/etc/passwd", "/etc/group"),
+		}
+		return progs, opts, nil
+
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown configuration %d", c)
+	}
+}
+
+// Handle controls a running server group.
+type Handle struct {
+	// World is the machine the server runs on.
+	World *vos.World
+	// Net is the network clients dial.
+	Net *simnet.Network
+	// Port is the server's listening port.
+	Port uint16
+
+	done chan struct{}
+	res  *nvkernel.Result
+	err  error
+}
+
+// Start launches the given configuration on a fresh world. The server
+// runs until Stop (or until an alarm kills it).
+func Start(c Configuration, serverOpts httpd.Options, latency time.Duration, kopts ...nvkernel.Option) (*Handle, error) {
+	world, err := vos.NewWorld()
+	if err != nil {
+		return nil, err
+	}
+	return StartOn(world, simnet.New(latency), c, serverOpts, kopts...)
+}
+
+// StartOn launches the configuration on an existing world and network.
+func StartOn(world *vos.World, net *simnet.Network, c Configuration, serverOpts httpd.Options, extra ...nvkernel.Option) (*Handle, error) {
+	progs, kopts, err := Build(c, world, serverOpts)
+	if err != nil {
+		return nil, err
+	}
+	kopts = append(kopts, extra...)
+	h := &Handle{World: world, Net: net, Port: 8080, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.res, h.err = nvkernel.Run(world, net, progs, kopts...)
+	}()
+
+	// Wait for the listener so callers can dial immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial(h.Port)
+		if err == nil {
+			_ = conn.Close()
+			return h, nil
+		}
+		select {
+		case <-h.done:
+			if h.err != nil {
+				return nil, fmt.Errorf("server exited during startup: %w", h.err)
+			}
+			return nil, fmt.Errorf("server exited during startup: %+v", h.res.Alarm)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server did not start listening")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Client returns an HTTP client for the server.
+func (h *Handle) Client() *httpd.Client { return httpd.NewClient(h.Net, h.Port) }
+
+// Stop shuts the server down (closing its port) and returns the run
+// result.
+func (h *Handle) Stop() (*nvkernel.Result, error) {
+	select {
+	case <-h.done:
+		// Already finished (e.g. killed by an alarm).
+	default:
+		_ = h.Net.ShutdownPort(h.Port)
+	}
+	return h.Wait()
+}
+
+// Wait blocks until the group terminates and returns the result.
+func (h *Handle) Wait() (*nvkernel.Result, error) {
+	select {
+	case <-h.done:
+	case <-time.After(60 * time.Second):
+		return nil, fmt.Errorf("harness: server did not terminate")
+	}
+	return h.res, h.err
+}

@@ -1,0 +1,81 @@
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"nvariant/internal/simnet"
+)
+
+// ErrConnClosed is returned by Client when the server closed the
+// connection without responding — what an attacker observes when the
+// monitor kills a compromised variant group mid-request.
+var ErrConnClosed = errors.New("httpd: connection closed without response")
+
+// Client issues HTTP requests against a simnet port, standing in for
+// the remote (possibly malicious) user of Figure 1.
+type Client struct {
+	net  *simnet.Network
+	port uint16
+}
+
+// NewClient builds a client for the given network and port.
+func NewClient(net *simnet.Network, port uint16) *Client {
+	return &Client{net: net, port: port}
+}
+
+// Get requests uri and returns the status code and body.
+func (c *Client) Get(uri string) (int, []byte, error) {
+	raw, err := c.Raw([]byte(fmt.Sprintf("GET %s HTTP/1.0\r\n\r\n", uri)))
+	if err != nil {
+		return 0, nil, err
+	}
+	code, err := ParseStatus(raw)
+	if err != nil {
+		return 0, nil, err
+	}
+	return code, Body(raw), nil
+}
+
+// Raw sends an arbitrary request payload and returns the raw response
+// bytes — the attacker's interface.
+func (c *Client) Raw(payload []byte) ([]byte, error) {
+	conn, err := c.net.Dial(c.port)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.Send(payload); err != nil {
+		return nil, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, ErrConnClosed
+	}
+	return resp, nil
+}
+
+// WaitReady polls until the server is accepting connections (the
+// harness races server startup). It issues a throwaway request.
+func (c *Client) WaitReady(attempts int) error {
+	for i := 0; i < attempts; i++ {
+		conn, err := c.net.Dial(c.port)
+		if err == nil {
+			_ = conn.Send([]byte("GET /index.html HTTP/1.0\r\n\r\n"))
+			_, _ = conn.Recv()
+			_ = conn.Close()
+			return nil
+		}
+	}
+	return fmt.Errorf("httpd: server did not start listening")
+}
+
+// ContainsSecret reports whether a response body leaked the root-only
+// document (used by attack experiments to score success).
+func ContainsSecret(body []byte) bool {
+	return strings.Contains(string(body), "TOP-SECRET")
+}

@@ -1,0 +1,111 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Request is a parsed HTTP request line.
+type Request struct {
+	// Method is the HTTP method (only GET is served).
+	Method string
+	// URI is the request path.
+	URI string
+	// Version is the HTTP version token.
+	Version string
+}
+
+// ParseRequestLine parses the first line of an HTTP request from the
+// (bounded) buffer contents. It is strict about shape so malformed —
+// including overflowing — requests get a 400.
+func ParseRequestLine(buf []byte) (Request, error) {
+	text := string(buf)
+	nl := strings.IndexByte(text, '\n')
+	if nl < 0 {
+		return Request{}, fmt.Errorf("httpd: request line missing terminator")
+	}
+	line := strings.TrimRight(text[:nl], "\r")
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 {
+		return Request{}, fmt.Errorf("httpd: malformed request line %q", line)
+	}
+	req := Request{Method: parts[0], URI: parts[1], Version: parts[2]}
+	if req.Method == "" || !strings.HasPrefix(req.URI, "/") {
+		return Request{}, fmt.Errorf("httpd: malformed request line %q", line)
+	}
+	if !strings.HasPrefix(req.Version, "HTTP/") {
+		return Request{}, fmt.Errorf("httpd: bad version %q", req.Version)
+	}
+	return req, nil
+}
+
+// Status texts for the codes the server emits.
+var statusText = map[int]string{
+	200: "OK",
+	400: "Bad Request",
+	403: "Forbidden",
+	404: "Not Found",
+	405: "Method Not Allowed",
+	500: "Internal Server Error",
+}
+
+// ContentTypeFor guesses a Content-Type from the URI suffix.
+func ContentTypeFor(uri string) string {
+	switch {
+	case strings.HasSuffix(uri, ".html"), strings.HasSuffix(uri, "/"):
+		return "text/html"
+	case strings.HasSuffix(uri, ".css"):
+		return "text/css"
+	case strings.HasSuffix(uri, ".gif"):
+		return "image/gif"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// FormatResponse renders a complete HTTP response.
+func FormatResponse(code int, contentType string, body []byte) string {
+	text, ok := statusText[code]
+	if !ok {
+		text = "Unknown"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", code, text)
+	fmt.Fprintf(&b, "Server: nvariant-httpd/1.0\r\n")
+	fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+	b.WriteString("\r\n")
+	b.Write(body)
+	return b.String()
+}
+
+// ErrorBody renders a small HTML error page.
+func ErrorBody(code int) []byte {
+	return []byte(fmt.Sprintf("<html><body><h1>%d %s</h1></body></html>\n", code, statusText[code]))
+}
+
+// ParseStatus extracts the status code from a raw HTTP response.
+func ParseStatus(raw []byte) (int, error) {
+	text := string(raw)
+	nl := strings.IndexByte(text, '\n')
+	if nl < 0 {
+		return 0, fmt.Errorf("httpd: response missing status line")
+	}
+	parts := strings.Split(strings.TrimRight(text[:nl], "\r"), " ")
+	if len(parts) < 2 {
+		return 0, fmt.Errorf("httpd: malformed status line %q", text[:nl])
+	}
+	var code int
+	if _, err := fmt.Sscanf(parts[1], "%d", &code); err != nil {
+		return 0, fmt.Errorf("httpd: bad status %q: %w", parts[1], err)
+	}
+	return code, nil
+}
+
+// Body extracts the response body (bytes after the blank line).
+func Body(raw []byte) []byte {
+	if i := strings.Index(string(raw), "\r\n\r\n"); i >= 0 {
+		return raw[i+4:]
+	}
+	return nil
+}

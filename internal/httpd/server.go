@@ -1,0 +1,443 @@
+// Package httpd is the case-study web server (§4): a small Apache-like
+// static file server written against the simulated syscall API so it
+// can run as an N-variant process group.
+//
+// Like Apache, it reads its User/Group from a configuration file,
+// resolves them through /etc/passwd and /etc/group (diversified via
+// unshared files under the UID variation), starts as root, and serves
+// requests under the unprivileged worker identity, re-escalating
+// between requests. It carries a planted non-control-data
+// vulnerability in the style of Chen et al. [12]: the request receive
+// uses a capacity larger than the parse buffer, so an over-long
+// request overflows into the adjacent worker-UID variable. Corrupting
+// that UID to root makes the next request run with EUID 0 — unless the
+// UID variation detects the corrupted value at its first use.
+//
+// The Transformed option selects the source-to-source transformed
+// program of §3.3: UID constants arrive pre-reexpressed (Consts), and
+// UID uses are exposed to the monitor with the Table 2 detection calls
+// (one uid_value per request, §4).
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"nvariant/internal/libc"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/sys"
+	"nvariant/internal/vmem"
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+const (
+	// ReqBufSize is the parse buffer size.
+	ReqBufSize = 256
+	// RecvCap is the (vulnerably oversized) capacity passed to recv.
+	RecvCap = 1280
+	// guardSize keeps overflows up to RecvCap inside mapped memory so
+	// the interesting corruption target is the UID word, not a crash.
+	guardSize = RecvCap
+)
+
+// Consts holds the program's trusted UID constants. For variant i they
+// are produced at build time by applying R_i — this is the "transform
+// constant data" half of normal equivalence (§2.2 property 1).
+type Consts struct {
+	// Root is R_i(0), the representation of the root UID.
+	Root vos.UID
+}
+
+// Options configures the server program (identical across variants).
+type Options struct {
+	// ConfigPath locates the configuration file.
+	ConfigPath string
+	// Transformed enables the §3.3 UID transformation: detection
+	// syscalls at UID uses. Variants of configuration 2 and 4 set it.
+	Transformed bool
+	// NoDetectionCalls is the §5 ablation: keep the transformed
+	// constants but skip the per-request uid_value call, relying on
+	// the existing syscall-boundary monitoring (detection then happens
+	// at the next natural UID syscall, with less precision).
+	NoDetectionCalls bool
+	// LogUIDs reintroduces the §4 pitfall: error-log lines include the
+	// numeric UID, which diverges between variants. The paper's fix
+	// (the default) omits the UID from log output.
+	LogUIDs bool
+	// MaxConns stops the server after handling this many connections
+	// (0 = serve until the listener is closed).
+	MaxConns int
+	// WorkFactor adds synthetic per-request CPU work (checksum passes
+	// over the response body), standing in for request processing that
+	// makes the saturated workload compute-bound as on the paper's
+	// testbed.
+	WorkFactor int
+}
+
+// DefaultOptions returns the stock server options.
+func DefaultOptions() Options {
+	return Options{ConfigPath: DefaultConfigPath}
+}
+
+// Server is the httpd program. Create per-variant instances with New
+// or BuildVariants.
+type Server struct {
+	opts   Options
+	consts Consts
+}
+
+var _ sys.Program = (*Server)(nil)
+
+// New builds a server program with the given constants. For an
+// untransformed server (variant 0 or single-variant configurations)
+// use Consts{Root: 0}.
+func New(opts Options, consts Consts) *Server {
+	if opts.ConfigPath == "" {
+		opts.ConfigPath = DefaultConfigPath
+	}
+	return &Server{opts: opts, consts: consts}
+}
+
+// BuildVariants constructs one server program per reexpression
+// function, applying R_i to the program's UID constants — the trusted
+// build-time data transformation of §3.3. Transformed is forced on:
+// running diversified UID data through an untransformed program would
+// violate normal equivalence.
+func BuildVariants(opts Options, funcs []reexpress.Func) ([]sys.Program, error) {
+	progs := make([]sys.Program, len(funcs))
+	for i, f := range funcs {
+		root, err := f.Apply(vos.Root)
+		if err != nil {
+			return nil, fmt.Errorf("build variant %d: reexpress root: %w", i, err)
+		}
+		o := opts
+		o.Transformed = true
+		progs[i] = New(o, Consts{Root: root})
+	}
+	return progs, nil
+}
+
+// Name implements sys.Program.
+func (s *Server) Name() string { return "httpd" }
+
+// Run implements sys.Program.
+func (s *Server) Run(ctx *sys.Context) error {
+	if err := s.serve(ctx); err != nil {
+		return err
+	}
+	return ctx.Exit(0)
+}
+
+// state is the per-run server state.
+type state struct {
+	ctx      *sys.Context
+	cfg      ServerConfig
+	logFD    int
+	reqBuf   vmem.Addr
+	uidAddr  vmem.Addr // adjacent to reqBuf: the overflow target
+	workSink word.Word
+}
+
+func (s *Server) serve(ctx *sys.Context) error {
+	st := &state{ctx: ctx}
+
+	// --- Startup (as root): configuration and identity resolution ---
+	cfgFD, err := ctx.Open(s.opts.ConfigPath, vos.ReadOnly, 0)
+	if err != nil {
+		return fmt.Errorf("httpd: open config: %w", err)
+	}
+	cfgData, err := ctx.ReadAll(cfgFD)
+	if err != nil {
+		return fmt.Errorf("httpd: read config: %w", err)
+	}
+	if err := ctx.Close(cfgFD); err != nil {
+		return err
+	}
+	st.cfg, err = ParseConfig(cfgData)
+	if err != nil {
+		return fmt.Errorf("httpd: %w", err)
+	}
+
+	st.logFD, err = ctx.Open(st.cfg.ErrorLog, vos.WriteOnly|vos.Create|vos.Append, 0644)
+	if err != nil {
+		return fmt.Errorf("httpd: open error log: %w", err)
+	}
+
+	pw, found, err := libc.Getpwnam(ctx, st.cfg.User)
+	if err != nil {
+		return err
+	}
+	// Transformed: if (pw == NULL) becomes cond_chk(pw == NULL) —
+	// getpwnam's result is UID-derived data influencing control flow.
+	missing := !found
+	if s.opts.Transformed {
+		missing, err = ctx.CondChk(missing)
+		if err != nil {
+			return err
+		}
+	}
+	if missing {
+		if err := st.logf("error: User %q not found in /etc/passwd", st.cfg.User); err != nil {
+			return err
+		}
+		return ctx.Exit(1)
+	}
+
+	// Apache's "will not serve as root" configuration check. In the
+	// transformed program the comparison goes through cc_eq against
+	// the reexpressed root constant (§3.5); the untransformed program
+	// compares against the literal 0.
+	isRoot := pw.UID == s.consts.Root
+	if s.opts.Transformed {
+		isRoot, err = ctx.CCEq(pw.UID, s.consts.Root)
+		if err != nil {
+			return err
+		}
+	}
+	if isRoot {
+		if err := st.logf("error: User directive must not name the superuser"); err != nil {
+			return err
+		}
+		return ctx.Exit(1)
+	}
+
+	gr, gfound, err := libc.Getgrnam(ctx, st.cfg.Group)
+	if err != nil {
+		return err
+	}
+	gmissing := !gfound
+	if s.opts.Transformed {
+		gmissing, err = ctx.CondChk(gmissing)
+		if err != nil {
+			return err
+		}
+	}
+	if gmissing {
+		if err := st.logf("error: Group %q not found in /etc/group", st.cfg.Group); err != nil {
+			return err
+		}
+		return ctx.Exit(1)
+	}
+
+	// --- The vulnerable data layout -----------------------------------
+	// The request parse buffer sits directly below the worker-UID
+	// variable; the guard region keeps oversized payloads mapped so
+	// corruption, not a crash, is the attack outcome.
+	st.reqBuf, err = ctx.Mem.Alloc(ReqBufSize)
+	if err != nil {
+		return err
+	}
+	st.uidAddr, err = ctx.Mem.Alloc(word.Size)
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.Mem.Alloc(guardSize); err != nil {
+		return err
+	}
+	if err := ctx.Mem.WriteWord(st.uidAddr, pw.UID); err != nil {
+		return err
+	}
+
+	if err := ctx.Setegid(gr.GID); err != nil {
+		return err
+	}
+
+	lfd, err := ctx.Listen(st.cfg.ListenPort)
+	if err != nil {
+		return fmt.Errorf("httpd: listen: %w", err)
+	}
+	if err := st.logf("httpd started on port %d, serving as %q", st.cfg.ListenPort, st.cfg.User); err != nil {
+		return err
+	}
+
+	// --- Request loop --------------------------------------------------
+	conns := 0
+	for {
+		cfd, err := ctx.Accept(lfd)
+		if err != nil {
+			break // listener closed: orderly shutdown
+		}
+		served, stop, err := s.handleConn(st, cfd)
+		if err != nil {
+			return err
+		}
+		if stop {
+			break
+		}
+		if served {
+			conns++
+		}
+		if s.opts.MaxConns > 0 && conns >= s.opts.MaxConns {
+			break
+		}
+	}
+	if err := st.logf("httpd shutting down after %d connections", conns); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ShutdownURI stops the server when requested: the harness's in-band
+// stop signal (the paper's launcher would kill the group instead).
+const ShutdownURI = "/__shutdown"
+
+// handleConn serves one connection (one request, HTTP/1.0 style).
+// served reports whether a request was actually received (empty
+// connections, e.g. liveness probes, don't count toward MaxConns);
+// stop reports an in-band shutdown request.
+func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
+	ctx := st.ctx
+	defer func() { _ = ctx.Close(cfd) }()
+
+	// VULNERABILITY: RecvCap exceeds ReqBufSize, so the kernel's copy
+	// of the client's bytes can run past the parse buffer into the
+	// adjacent worker-UID word — the same unchecked-copy shape as the
+	// non-control-data attacks of Chen et al. [12].
+	n, err := ctx.RecvMem(cfd, st.reqBuf, RecvCap)
+	if err != nil {
+		return false, false, err
+	}
+	if n == 0 {
+		return false, false, nil // client closed without a request
+	}
+
+	parseLen := n
+	if parseLen > ReqBufSize {
+		parseLen = ReqBufSize
+	}
+	raw, err := ctx.Mem.ReadBytes(st.reqBuf, parseLen)
+	if err != nil {
+		return true, false, err
+	}
+	req, err := ParseRequestLine(raw)
+	if err != nil {
+		return true, false, s.respondError(st, cfd, 400)
+	}
+	if req.Method != "GET" {
+		return true, false, s.respondError(st, cfd, 405)
+	}
+	if req.URI == ShutdownURI {
+		return true, true, s.respondError(st, cfd, 200)
+	}
+	if strings.Contains(req.URI, "..") {
+		return true, false, s.respondError(st, cfd, 403)
+	}
+
+	// Become the worker user for filesystem access. The UID is loaded
+	// from the (possibly corrupted) memory word; the transformed
+	// program exposes it to the monitor first — the paper's one
+	// detection syscall per request (§4).
+	uid, err := ctx.Mem.ReadWord(st.uidAddr)
+	if err != nil {
+		return true, false, err
+	}
+	if s.opts.Transformed && !s.opts.NoDetectionCalls {
+		uid, err = ctx.UIDValue(uid)
+		if err != nil {
+			return true, false, err
+		}
+	}
+	if err := ctx.Seteuid(uid); err != nil {
+		return true, false, err
+	}
+
+	code, body := s.loadDocument(st, req.URI)
+
+	// Re-escalate for the next request (ruid stayed 0).
+	if err := ctx.Seteuid(s.consts.Root); err != nil {
+		return true, false, err
+	}
+
+	s.burnWork(st, body)
+
+	resp := FormatResponse(code, ContentTypeFor(req.URI), body)
+	return true, false, ctx.SendString(cfd, resp)
+}
+
+// loadDocument maps the URI to a file and reads it under the current
+// (worker) credentials, translating errnos to HTTP statuses.
+func (s *Server) loadDocument(st *state, uri string) (int, []byte) {
+	ctx := st.ctx
+	if strings.HasSuffix(uri, "/") {
+		uri += "index.html"
+	}
+	path := st.cfg.DocumentRoot + uri
+	fd, err := ctx.Open(path, vos.ReadOnly, 0)
+	if err != nil {
+		code := 500
+		if e, ok := vos.AsErrno(err); ok {
+			switch e {
+			case vos.ErrNoEnt:
+				code = 404
+			case vos.ErrAccess, vos.ErrPerm:
+				code = 403
+			case vos.ErrIsDir:
+				code = 403
+			}
+		}
+		s.logDenied(st, uri, code)
+		return code, ErrorBody(code)
+	}
+	body, err := ctx.ReadAll(fd)
+	_ = ctx.Close(fd)
+	if err != nil {
+		return 500, ErrorBody(500)
+	}
+	return 200, body
+}
+
+// logDenied writes the §4 error-log line. With LogUIDs set it includes
+// the effective UID value — the divergence pitfall the paper hit; the
+// default follows the paper's fix and omits it.
+func (s *Server) logDenied(st *state, uri string, code int) {
+	if code != 403 {
+		return
+	}
+	if s.opts.LogUIDs {
+		uid, err := st.ctx.Mem.ReadWord(st.uidAddr)
+		if err == nil {
+			// Deliberately divergent under the UID variation.
+			_ = st.logf("access denied for %s (uid=%s)", uri, uid.Decimal())
+			return
+		}
+	}
+	_ = st.logf("access denied for %s", uri)
+}
+
+// respondError sends an error response without touching credentials.
+func (s *Server) respondError(st *state, cfd int, code int) error {
+	body := ErrorBody(code)
+	return st.ctx.SendString(cfd, FormatResponse(code, "text/html", body))
+}
+
+// burnWork performs WorkFactor checksum passes over the body: the
+// synthetic stand-in for per-request processing, executed redundantly
+// by every variant (the paper's duplicated computation).
+func (s *Server) burnWork(st *state, body []byte) {
+	if s.opts.WorkFactor <= 0 {
+		return
+	}
+	sum := st.workSink
+	for k := 0; k < s.opts.WorkFactor; k++ {
+		for _, b := range body {
+			sum = sum*31 + word.Word(b)
+		}
+	}
+	st.workSink = sum // keep the loop live
+}
+
+// logf appends one line to the error log.
+func (st *state) logf(format string, args ...any) error {
+	line := fmt.Sprintf(format, args...) + "\n"
+	return st.ctx.WriteString(st.logFD, line)
+}
+
+// SetupWorld installs the server's configuration file into a world.
+func SetupWorld(w *vos.World) error {
+	root := vos.CredFor(vos.Root, 0)
+	if err := w.FS.WriteFile(DefaultConfigPath, DefaultConfigFile(), 0644, root); err != nil {
+		return fmt.Errorf("install httpd.conf: %w", err)
+	}
+	return nil
+}

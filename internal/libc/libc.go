@@ -1,0 +1,74 @@
+// Package libc provides the small C-library layer variant programs
+// use above raw syscalls: user/group database lookups implemented by
+// reading /etc/passwd and /etc/group through the syscall interface.
+//
+// This path matters for the paper's §3.4: when the kernel marks
+// /etc/passwd unshared, getpwnam transparently reads the variant's
+// diversified copy, so the UID it returns is already in the variant's
+// representation — no reexpression function ever runs inside the
+// program (which would hand the attacker a reusable oracle, §5).
+package libc
+
+import (
+	"fmt"
+
+	"nvariant/internal/sys"
+	"nvariant/internal/vos"
+)
+
+// Getpwnam looks up a user by name via /etc/passwd.
+func Getpwnam(ctx *sys.Context, name string) (vos.User, bool, error) {
+	users, err := readPasswd(ctx)
+	if err != nil {
+		return vos.User{}, false, err
+	}
+	u, ok := vos.LookupUser(users, name)
+	return u, ok, nil
+}
+
+// Getpwuid looks up a user by UID (in this variant's representation,
+// since the passwd file itself is diversified) via /etc/passwd.
+func Getpwuid(ctx *sys.Context, uid vos.UID) (vos.User, bool, error) {
+	users, err := readPasswd(ctx)
+	if err != nil {
+		return vos.User{}, false, err
+	}
+	u, ok := vos.LookupUID(users, uid)
+	return u, ok, nil
+}
+
+// Getgrnam looks up a group by name via /etc/group.
+func Getgrnam(ctx *sys.Context, name string) (vos.Group, bool, error) {
+	fd, err := ctx.Open("/etc/group", vos.ReadOnly, 0)
+	if err != nil {
+		return vos.Group{}, false, fmt.Errorf("getgrnam %q: %w", name, err)
+	}
+	defer func() { _ = ctx.Close(fd) }()
+	data, err := ctx.ReadAll(fd)
+	if err != nil {
+		return vos.Group{}, false, fmt.Errorf("getgrnam %q: %w", name, err)
+	}
+	groups, err := vos.ParseGroup(data)
+	if err != nil {
+		return vos.Group{}, false, fmt.Errorf("getgrnam %q: %w", name, err)
+	}
+	g, ok := vos.LookupGroup(groups, name)
+	return g, ok, nil
+}
+
+func readPasswd(ctx *sys.Context) ([]vos.User, error) {
+	fd, err := ctx.Open("/etc/passwd", vos.ReadOnly, 0)
+	if err != nil {
+		return nil, fmt.Errorf("read passwd: %w", err)
+	}
+	defer func() { _ = ctx.Close(fd) }()
+	data, err := ctx.ReadAll(fd)
+	if err != nil {
+		return nil, fmt.Errorf("read passwd: %w", err)
+	}
+	users, err := vos.ParsePasswd(data)
+	if err != nil {
+		return nil, fmt.Errorf("parse passwd: %w", err)
+	}
+	return users, nil
+}

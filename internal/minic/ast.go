@@ -1,0 +1,386 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a minic type.
+type Type int
+
+// Types.
+const (
+	TypeVoid Type = iota + 1
+	TypeInt
+	TypeBool
+	TypeString
+	TypeUID
+	TypeGID
+)
+
+// String names the type as written in source.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeString:
+		return "string"
+	case TypeUID:
+		return "uid_t"
+	case TypeGID:
+		return "gid_t"
+	default:
+		return "?"
+	}
+}
+
+// IsUIDLike reports whether the type carries UID/GID data (the paper
+// uses "UID" for both, §3).
+func (t Type) IsUIDLike() bool { return t == TypeUID || t == TypeGID }
+
+// typeFromKeyword maps a type keyword.
+func typeFromKeyword(kw string) (Type, bool) {
+	switch kw {
+	case "void":
+		return TypeVoid, true
+	case "int":
+		return TypeInt, true
+	case "bool":
+		return TypeBool, true
+	case "string":
+		return TypeString, true
+	case "uid_t":
+		return TypeUID, true
+	case "gid_t":
+		return TypeGID, true
+	default:
+		return 0, false
+	}
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Emit renders the expression as source.
+	Emit(b *strings.Builder)
+}
+
+// IntLit is an integer literal. InferredType records the checker's
+// view (TypeUID when the literal is used in a UID context — the
+// transformer rewrites exactly those).
+type IntLit struct {
+	Value        uint32
+	Line         int
+	InferredType Type
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// VarRef references a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	// Emit renders the statement as indented source.
+	Emit(b *strings.Builder, indent int)
+}
+
+// VarDecl declares a variable, optionally initialized.
+type VarDecl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt assigns to a variable.
+type AssignStmt struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+	Line int
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	X    Expr // may be nil for void
+	Line int
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+func (*VarDecl) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*BlockStmt) stmtNode()  {}
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	// Globals are top-level variable declarations in order.
+	Globals []*VarDecl
+	// Funcs are function definitions in order.
+	Funcs []*FuncDecl
+}
+
+// Func finds a function by name.
+func (p *Program) Func(name string) (*FuncDecl, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// --- Source emission (used to show transformed variants) -------------
+
+// Emit renders the program as source text.
+func (p *Program) Emit() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		g.Emit(&b, 0)
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		f.emit(&b)
+	}
+	return b.String()
+}
+
+func (f *FuncDecl) emit(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+	}
+	b.WriteString(") ")
+	f.Body.Emit(b, 0)
+	b.WriteString("\n")
+}
+
+func ind(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+// Emit implements Stmt.
+func (s *VarDecl) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	fmt.Fprintf(b, "%s %s", s.Type, s.Name)
+	if s.Init != nil {
+		b.WriteString(" = ")
+		s.Init.Emit(b)
+	}
+	b.WriteString(";\n")
+}
+
+// Emit implements Stmt.
+func (s *AssignStmt) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString(s.Name)
+	b.WriteString(" = ")
+	s.X.Emit(b)
+	b.WriteString(";\n")
+}
+
+// Emit implements Stmt.
+func (s *ExprStmt) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	s.X.Emit(b)
+	b.WriteString(";\n")
+}
+
+// Emit implements Stmt.
+func (s *IfStmt) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString("if (")
+	s.Cond.Emit(b)
+	b.WriteString(") ")
+	s.Then.Emit(b, indent)
+	if s.Else != nil {
+		ind(b, indent)
+		b.WriteString("else ")
+		s.Else.Emit(b, indent)
+	}
+}
+
+// Emit implements Stmt.
+func (s *WhileStmt) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString("while (")
+	s.Cond.Emit(b)
+	b.WriteString(") ")
+	s.Body.Emit(b, indent)
+}
+
+// Emit implements Stmt.
+func (s *ReturnStmt) Emit(b *strings.Builder, indent int) {
+	ind(b, indent)
+	b.WriteString("return")
+	if s.X != nil {
+		b.WriteString(" ")
+		s.X.Emit(b)
+	}
+	b.WriteString(";\n")
+}
+
+// Emit implements Stmt.
+func (s *BlockStmt) Emit(b *strings.Builder, indent int) {
+	b.WriteString("{\n")
+	for _, st := range s.Stmts {
+		st.Emit(b, indent+1)
+	}
+	ind(b, indent)
+	b.WriteString("}\n")
+}
+
+// Emit implements Expr.
+func (e *IntLit) Emit(b *strings.Builder) {
+	if e.Value > 0xFFFF {
+		fmt.Fprintf(b, "0x%X", e.Value)
+		return
+	}
+	fmt.Fprintf(b, "%d", e.Value)
+}
+
+// Emit implements Expr.
+func (e *BoolLit) Emit(b *strings.Builder) {
+	if e.Value {
+		b.WriteString("true")
+	} else {
+		b.WriteString("false")
+	}
+}
+
+// Emit implements Expr.
+func (e *StrLit) Emit(b *strings.Builder) {
+	fmt.Fprintf(b, "%q", e.Value)
+}
+
+// Emit implements Expr.
+func (e *VarRef) Emit(b *strings.Builder) { b.WriteString(e.Name) }
+
+// Emit implements Expr.
+func (e *CallExpr) Emit(b *strings.Builder) {
+	b.WriteString(e.Name)
+	b.WriteString("(")
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.Emit(b)
+	}
+	b.WriteString(")")
+}
+
+// Emit implements Expr.
+func (e *UnaryExpr) Emit(b *strings.Builder) {
+	b.WriteString(e.Op)
+	e.X.Emit(b)
+}
+
+// Emit implements Expr.
+func (e *BinaryExpr) Emit(b *strings.Builder) {
+	b.WriteString("(")
+	e.X.Emit(b)
+	fmt.Fprintf(b, " %s ", e.Op)
+	e.Y.Emit(b)
+	b.WriteString(")")
+}

@@ -1,0 +1,398 @@
+package minic
+
+import "fmt"
+
+// Parse parses source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur().Kind == TokPunct && p.cur().Text == s {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, got %q", s, p.cur().Text)
+}
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atType() (Type, bool) {
+	if p.cur().Kind != TokKeyword {
+		return 0, false
+	}
+	return typeFromKeyword(p.cur().Text)
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		typ, ok := p.atType()
+		if !ok {
+			return nil, p.errf("expected declaration, got %q", p.cur().Text)
+		}
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected name after type, got %q", p.cur().Text)
+		}
+		name := p.next()
+		if p.atPunct("(") {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		decl, err := p.parseVarRest(typ, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decl)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseVarRest(typ Type, name Token) (*VarDecl, error) {
+	decl := &VarDecl{Type: typ, Name: name.Text, Line: name.Line}
+	if p.atPunct("=") {
+		p.next()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		decl.Init = init
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *parser) parseFuncRest(ret Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Ret: ret, Name: name.Text, Line: name.Line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		typ, ok := p.atType()
+		if !ok {
+			return nil, p.errf("expected parameter type, got %q", p.cur().Text)
+		}
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected parameter name, got %q", p.cur().Text)
+		}
+		pname := p.next()
+		fn.Params = append(fn.Params, Param{Type: typ, Name: pname.Text})
+		if p.atPunct(",") {
+			p.next()
+			continue
+		}
+		if !p.atPunct(")") {
+			return nil, p.errf("expected ',' or ')' in parameters")
+		}
+	}
+	p.next() // ')'
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	line := p.cur().Line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	block := &BlockStmt{Line: line}
+	for !p.atPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		block.Stmts = append(block.Stmts, st)
+	}
+	p.next() // '}'
+	return block, nil
+}
+
+// blockOf wraps a single statement in a block so if/while bodies are
+// uniform.
+func blockOf(s Stmt, line int) *BlockStmt {
+	if b, ok := s.(*BlockStmt); ok {
+		return b
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Line: line}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == TokKeyword && tok.Text == "if":
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		thenStmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: blockOf(thenStmt, tok.Line), Line: tok.Line}
+		if p.cur().Kind == TokKeyword && p.cur().Text == "else" {
+			p.next()
+			elseStmt, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = blockOf(elseStmt, tok.Line)
+		}
+		return st, nil
+
+	case tok.Kind == TokKeyword && tok.Text == "while":
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: blockOf(body, tok.Line), Line: tok.Line}, nil
+
+	case tok.Kind == TokKeyword && tok.Text == "return":
+		p.next()
+		st := &ReturnStmt{Line: tok.Line}
+		if !p.atPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case tok.Kind == TokPunct && tok.Text == "{":
+		return p.parseBlock()
+
+	default:
+		if typ, ok := p.atType(); ok {
+			p.next()
+			if p.cur().Kind != TokIdent {
+				return nil, p.errf("expected name after type, got %q", p.cur().Text)
+			}
+			name := p.next()
+			return p.parseVarRest(typ, name)
+		}
+		// assignment or expression statement
+		if tok.Kind == TokIdent && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == "=" {
+			name := p.next()
+			p.next() // '='
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.Text, X: x, Line: name.Line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: tok.Line}, nil
+	}
+}
+
+// Operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.cur()
+		if tok.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[tok.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: tok.Text, X: lhs, Y: rhs, Line: tok.Line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	if tok.Kind == TokPunct && (tok.Text == "!" || tok.Text == "-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: tok.Text, X: x, Line: tok.Line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == TokInt:
+		p.next()
+		v, err := parseIntText(tok.Text)
+		if err != nil {
+			return nil, &SyntaxError{Line: tok.Line, Msg: err.Error()}
+		}
+		return &IntLit{Value: v, Line: tok.Line}, nil
+
+	case tok.Kind == TokString:
+		p.next()
+		return &StrLit{Value: tok.Text, Line: tok.Line}, nil
+
+	case tok.Kind == TokKeyword && (tok.Text == "true" || tok.Text == "false"):
+		p.next()
+		return &BoolLit{Value: tok.Text == "true", Line: tok.Line}, nil
+
+	case tok.Kind == TokIdent:
+		p.next()
+		if p.atPunct("(") {
+			p.next()
+			call := &CallExpr{Name: tok.Text, Line: tok.Line}
+			for !p.atPunct(")") {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.atPunct(",") {
+					p.next()
+					continue
+				}
+				if !p.atPunct(")") {
+					return nil, p.errf("expected ',' or ')' in call arguments")
+				}
+			}
+			p.next() // ')'
+			return call, nil
+		}
+		return &VarRef{Name: tok.Text, Line: tok.Line}, nil
+
+	case tok.Kind == TokPunct && tok.Text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	default:
+		return nil, p.errf("unexpected token %q", tok.Text)
+	}
+}
+
+// parseIntText parses decimal or 0x hex literals into 32 bits.
+func parseIntText(s string) (uint32, error) {
+	var v uint64
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		for i := 2; i < len(s); i++ {
+			d, ok := hexVal(s[i])
+			if !ok {
+				return 0, fmt.Errorf("bad hex literal %q", s)
+			}
+			v = v*16 + uint64(d)
+			if v > 0xFFFFFFFF {
+				return 0, fmt.Errorf("literal %q overflows 32 bits", s)
+			}
+		}
+		return uint32(v), nil
+	}
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return 0, fmt.Errorf("bad integer literal %q", s)
+		}
+		v = v*10 + uint64(s[i]-'0')
+		if v > 0xFFFFFFFF {
+			return 0, fmt.Errorf("literal %q overflows 32 bits", s)
+		}
+	}
+	return uint32(v), nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

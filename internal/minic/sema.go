@@ -1,0 +1,877 @@
+package minic
+
+import "fmt"
+
+// Builtin describes a library/syscall function visible to minic
+// programs.
+type Builtin struct {
+	// Ret is the return type.
+	Ret Type
+	// Params are the parameter types.
+	Params []Type
+	// UIDDerived marks builtins whose (non-UID-typed) result is
+	// derived from UID data — the taint seeds for cond_chk insertion
+	// (getpwnam's found flag, seteuid's status, …).
+	UIDDerived bool
+	// Kernel marks kernel syscalls: their UID arguments are already
+	// checked by the monitor wrappers, so the transformer does not
+	// wrap them in uid_value.
+	Kernel bool
+}
+
+// Builtins returns the standard library of the language (fixed, so
+// programs and the transformer agree on signatures).
+func Builtins() map[string]Builtin {
+	return map[string]Builtin{
+		// Kernel credential syscalls (§3.5 target interface).
+		"getuid":  {Ret: TypeUID, Kernel: true},
+		"geteuid": {Ret: TypeUID, Kernel: true},
+		"getgid":  {Ret: TypeGID, Kernel: true},
+		"getegid": {Ret: TypeGID, Kernel: true},
+		"setuid":  {Ret: TypeInt, Params: []Type{TypeUID}, Kernel: true, UIDDerived: true},
+		"seteuid": {Ret: TypeInt, Params: []Type{TypeUID}, Kernel: true, UIDDerived: true},
+		"setgid":  {Ret: TypeInt, Params: []Type{TypeGID}, Kernel: true, UIDDerived: true},
+		"setegid": {Ret: TypeInt, Params: []Type{TypeGID}, Kernel: true, UIDDerived: true},
+
+		// Library (libc-level) lookups: results derive from UID data.
+		"getpwnam":     {Ret: TypeBool, Params: []Type{TypeString}, UIDDerived: true},
+		"pw_uid":       {Ret: TypeUID, UIDDerived: true},
+		"pw_gid":       {Ret: TypeGID, UIDDerived: true},
+		"getgrnam":     {Ret: TypeBool, Params: []Type{TypeString}, UIDDerived: true},
+		"gr_gid":       {Ret: TypeGID, UIDDerived: true},
+		"getpwuid_has": {Ret: TypeBool, Params: []Type{TypeUID}, UIDDerived: true},
+
+		// Logging and termination.
+		"log":     {Ret: TypeVoid, Params: []Type{TypeString}},
+		"log_uid": {Ret: TypeVoid, Params: []Type{TypeString, TypeUID}},
+		"exit":    {Ret: TypeVoid, Params: []Type{TypeInt}, Kernel: true},
+
+		// Table 2 detection syscalls (inserted by the transformer;
+		// hand-written code may also call them).
+		"uid_value": {Ret: TypeUID, Params: []Type{TypeUID}, Kernel: true},
+		"cond_chk":  {Ret: TypeBool, Params: []Type{TypeBool}, Kernel: true},
+		"cc_eq":     {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+		"cc_neq":    {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+		"cc_lt":     {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+		"cc_leq":    {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+		"cc_gt":     {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+		"cc_geq":    {Ret: TypeBool, Params: []Type{TypeUID, TypeUID}, Kernel: true},
+	}
+}
+
+// TypeError reports a semantic error.
+type TypeError struct {
+	// Line is the 1-based source line.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string { return fmt.Sprintf("minic:%d: %s", e.Line, e.Msg) }
+
+// CheckResult carries the checker's analysis products used by the
+// transformer.
+type CheckResult struct {
+	// VarTypes maps "func.var" (or "..var" for globals) to the
+	// resolved type, after UID inference.
+	VarTypes map[string]Type
+	// InferredUIDVars lists variables declared int but inferred to
+	// hold UID data (the Splint-style analysis of §4).
+	InferredUIDVars []string
+	// TaintedVars is the set of variables (qualified names) holding
+	// UID-derived (but not UID-typed) data — the cond_chk candidates.
+	TaintedVars map[string]bool
+	// TaintedFuncs is the set of user functions whose return value is
+	// UID-derived (interprocedural taint).
+	TaintedFuncs map[string]bool
+}
+
+// Check typechecks the program, enforcing the §3.3 UID usage rules
+// (UID values admit only assignment and comparison), inferring uid_t
+// for int variables that carry UID data, and computing the UID-derived
+// taint set.
+func Check(prog *Program) (*CheckResult, error) {
+	c := &checker{
+		prog:     prog,
+		builtins: Builtins(),
+		res: &CheckResult{
+			VarTypes:     make(map[string]Type),
+			TaintedVars:  make(map[string]bool),
+			TaintedFuncs: make(map[string]bool),
+		},
+		varTypes: make(map[string]Type),
+	}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.res, nil
+}
+
+type checker struct {
+	prog     *Program
+	builtins map[string]Builtin
+	res      *CheckResult
+	varTypes map[string]Type // qualified name → declared/inferred type
+	curFunc  *FuncDecl
+}
+
+// qual returns the qualified variable name for the current scope.
+// Globals are qualified with an empty function name; minic has no
+// shadowing (redeclaration is an error), which keeps the analysis
+// simple and matches the paper's "well-typed C program" assumption.
+func (c *checker) qual(name string) string {
+	if c.curFunc != nil {
+		if _, ok := c.varTypes[c.curFunc.Name+"."+name]; ok {
+			return c.curFunc.Name + "." + name
+		}
+	}
+	return "." + name
+}
+
+func (c *checker) run() error {
+	// Collect globals.
+	for _, g := range c.prog.Globals {
+		key := "." + g.Name
+		if _, dup := c.varTypes[key]; dup {
+			return &TypeError{Line: g.Line, Msg: fmt.Sprintf("redeclaration of global %q", g.Name)}
+		}
+		c.varTypes[key] = g.Type
+	}
+	// Collect function signatures; reject builtin collisions.
+	seen := map[string]bool{}
+	for _, f := range c.prog.Funcs {
+		if _, isB := c.builtins[f.Name]; isB {
+			return &TypeError{Line: f.Line, Msg: fmt.Sprintf("function %q collides with a builtin", f.Name)}
+		}
+		if seen[f.Name] {
+			return &TypeError{Line: f.Line, Msg: fmt.Sprintf("redeclaration of function %q", f.Name)}
+		}
+		seen[f.Name] = true
+	}
+	if _, ok := c.prog.Func("main"); !ok {
+		return &TypeError{Line: 1, Msg: "no main function"}
+	}
+
+	// Declare locals and parameters (two passes are unnecessary: minic
+	// requires declaration before use, enforced during body checks).
+	for _, f := range c.prog.Funcs {
+		c.curFunc = f
+		for _, p := range f.Params {
+			key := f.Name + "." + p.Name
+			if _, dup := c.varTypes[key]; dup {
+				return &TypeError{Line: f.Line, Msg: fmt.Sprintf("duplicate parameter %q", p.Name)}
+			}
+			c.varTypes[key] = p.Type
+		}
+		if err := c.declareLocals(f.Body, f); err != nil {
+			return err
+		}
+	}
+
+	// UID inference (Splint-style, §4): promote int variables assigned
+	// from or compared with UID-typed expressions. Iterate to a fixed
+	// point since promotion can cascade.
+	for {
+		changed, err := c.inferencePass()
+		if err != nil {
+			return err
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Full type check with final types, computing taint. Global
+	// initializers are checked first (against the global scope only).
+	c.curFunc = nil
+	for _, g := range c.prog.Globals {
+		if g.Init != nil {
+			if err := c.checkAssignTo(c.varTypes["."+g.Name], g.Init, g.Line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range c.prog.Funcs {
+		c.curFunc = f
+		if err := c.checkBlock(f.Body); err != nil {
+			return err
+		}
+	}
+
+	// Seed interprocedural taint: a function that receives UID data as
+	// a parameter produces UID-influenced results (control dependence
+	// is approximated conservatively).
+	for _, f := range c.prog.Funcs {
+		for _, p := range f.Params {
+			if p.Type.IsUIDLike() {
+				c.res.TaintedFuncs[f.Name] = true
+				break
+			}
+		}
+	}
+
+	// Taint propagation to fixed point (flow-insensitive).
+	for {
+		changed, err := c.taintPass()
+		if err != nil {
+			return err
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for k, v := range c.varTypes {
+		c.res.VarTypes[k] = v
+	}
+	return nil
+}
+
+// declareLocals records every local declaration's type.
+func (c *checker) declareLocals(b *BlockStmt, f *FuncDecl) error {
+	for _, st := range b.Stmts {
+		switch s := st.(type) {
+		case *VarDecl:
+			key := f.Name + "." + s.Name
+			if _, dup := c.varTypes[key]; dup {
+				return &TypeError{Line: s.Line, Msg: fmt.Sprintf("redeclaration of %q", s.Name)}
+			}
+			c.varTypes[key] = s.Type
+		case *IfStmt:
+			if err := c.declareLocals(s.Then, f); err != nil {
+				return err
+			}
+			if s.Else != nil {
+				if err := c.declareLocals(s.Else, f); err != nil {
+					return err
+				}
+			}
+		case *WhileStmt:
+			if err := c.declareLocals(s.Body, f); err != nil {
+				return err
+			}
+		case *BlockStmt:
+			if err := c.declareLocals(s, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// typeOf computes an expression's type with the current var types.
+// It does not enforce operand legality (checkExpr does).
+func (c *checker) typeOf(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.InferredType != 0 {
+			return x.InferredType, nil
+		}
+		return TypeInt, nil
+	case *BoolLit:
+		return TypeBool, nil
+	case *StrLit:
+		return TypeString, nil
+	case *VarRef:
+		t, ok := c.varTypes[c.qual(x.Name)]
+		if !ok {
+			return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("undeclared variable %q", x.Name)}
+		}
+		return t, nil
+	case *CallExpr:
+		if b, ok := c.builtins[x.Name]; ok {
+			return b.Ret, nil
+		}
+		if f, ok := c.prog.Func(x.Name); ok {
+			return f.Ret, nil
+		}
+		return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("undefined function %q", x.Name)}
+	case *UnaryExpr:
+		if x.Op == "!" {
+			return TypeBool, nil
+		}
+		return TypeInt, nil
+	case *BinaryExpr:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return TypeBool, nil
+		default:
+			return TypeInt, nil
+		}
+	default:
+		return 0, fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+// inferencePass promotes int variables that interact with UID data.
+func (c *checker) inferencePass() (bool, error) {
+	changed := false
+	var visitExpr func(e Expr) error
+	promote := func(name string, line int) {
+		key := c.qual(name)
+		if c.varTypes[key] == TypeInt {
+			c.varTypes[key] = TypeUID
+			c.res.InferredUIDVars = append(c.res.InferredUIDVars, key)
+			changed = true
+		}
+	}
+	visitExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			if err := visitExpr(x.X); err != nil {
+				return err
+			}
+			if err := visitExpr(x.Y); err != nil {
+				return err
+			}
+			// var compared with uid expr → promote.
+			if isComparison(x.Op) {
+				tx, errX := c.typeOf(x.X)
+				ty, errY := c.typeOf(x.Y)
+				if errX != nil || errY != nil {
+					return nil // reported in checkExpr
+				}
+				if tx.IsUIDLike() {
+					if v, ok := x.Y.(*VarRef); ok {
+						promote(v.Name, v.Line)
+					}
+				}
+				if ty.IsUIDLike() {
+					if v, ok := x.X.(*VarRef); ok {
+						promote(v.Name, v.Line)
+					}
+				}
+			}
+		case *UnaryExpr:
+			return visitExpr(x.X)
+		case *CallExpr:
+			for _, a := range x.Args {
+				if err := visitExpr(a); err != nil {
+					return err
+				}
+			}
+			// var passed as uid_t parameter → promote.
+			params := c.paramTypes(x.Name)
+			for i, a := range x.Args {
+				if i < len(params) && params[i].IsUIDLike() {
+					if v, ok := a.(*VarRef); ok {
+						promote(v.Name, v.Line)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	var visitStmt func(s Stmt) error
+	visitStmt = func(s Stmt) error {
+		switch st := s.(type) {
+		case *VarDecl:
+			if st.Init != nil {
+				if err := visitExpr(st.Init); err != nil {
+					return err
+				}
+				t, err := c.typeOf(st.Init)
+				if err == nil && t.IsUIDLike() {
+					promote(st.Name, st.Line)
+				}
+			}
+		case *AssignStmt:
+			if err := visitExpr(st.X); err != nil {
+				return err
+			}
+			t, err := c.typeOf(st.X)
+			if err == nil && t.IsUIDLike() {
+				promote(st.Name, st.Line)
+			}
+		case *ExprStmt:
+			return visitExpr(st.X)
+		case *IfStmt:
+			if err := visitExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := visitStmt(st.Then); err != nil {
+				return err
+			}
+			if st.Else != nil {
+				return visitStmt(st.Else)
+			}
+		case *WhileStmt:
+			if err := visitExpr(st.Cond); err != nil {
+				return err
+			}
+			return visitStmt(st.Body)
+		case *ReturnStmt:
+			if st.X != nil {
+				return visitExpr(st.X)
+			}
+		case *BlockStmt:
+			for _, inner := range st.Stmts {
+				if err := visitStmt(inner); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, f := range c.prog.Funcs {
+		c.curFunc = f
+		if err := visitStmt(f.Body); err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// paramTypes returns the parameter types of a function or builtin.
+func (c *checker) paramTypes(name string) []Type {
+	if b, ok := c.builtins[name]; ok {
+		return b.Params
+	}
+	if f, ok := c.prog.Func(name); ok {
+		types := make([]Type, len(f.Params))
+		for i, p := range f.Params {
+			types[i] = p.Type
+		}
+		return types
+	}
+	return nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	default:
+		return false
+	}
+}
+
+// assignable reports whether a value of type from may be stored in
+// type to. Int literals flow into uid_t/gid_t (C-style constants), and
+// uid_t/gid_t interconvert (in C both are integer typedefs, and the
+// paper uses "UID" for both kinds of identification data, §3 — the
+// detection calls like uid_value accept either).
+func assignable(to, from Type) bool {
+	if to == from {
+		return true
+	}
+	if to.IsUIDLike() && (from == TypeInt || from.IsUIDLike()) {
+		return true // constant initialization; the checker marks the literal
+	}
+	return false
+}
+
+// checkBlock type-checks statements.
+func (c *checker) checkBlock(b *BlockStmt) error {
+	for _, st := range b.Stmts {
+		if err := c.checkStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init == nil {
+			return nil
+		}
+		return c.checkAssignTo(c.varTypes[c.qual(st.Name)], st.Init, st.Line)
+	case *AssignStmt:
+		t, ok := c.varTypes[c.qual(st.Name)]
+		if !ok {
+			return &TypeError{Line: st.Line, Msg: fmt.Sprintf("undeclared variable %q", st.Name)}
+		}
+		return c.checkAssignTo(t, st.X, st.Line)
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		want := c.curFunc.Ret
+		if st.X == nil {
+			if want != TypeVoid {
+				return &TypeError{Line: st.Line, Msg: fmt.Sprintf("return needs a %s value", want)}
+			}
+			return nil
+		}
+		return c.checkAssignTo(want, st.X, st.Line)
+	case *BlockStmt:
+		return c.checkBlock(st)
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+}
+
+// checkAssignTo checks expr against a target type, marking UID-context
+// int literals for the transformer.
+func (c *checker) checkAssignTo(target Type, e Expr, line int) error {
+	got, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if lit, ok := e.(*IntLit); ok && target.IsUIDLike() {
+		lit.InferredType = target
+		got = target
+	}
+	if !assignable(target, got) {
+		return &TypeError{Line: line, Msg: fmt.Sprintf("cannot assign %s to %s", got, target)}
+	}
+	return nil
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	// C-style: int and uid_t conditions are allowed (implicit != 0);
+	// the transformer makes the implicit comparison explicit (§3.3).
+	if t != TypeBool && t != TypeInt && !t.IsUIDLike() {
+		return &TypeError{Line: lineOf(e), Msg: fmt.Sprintf("condition has type %s", t)}
+	}
+	return nil
+}
+
+// checkExpr type-checks an expression, enforcing the §3.3 rule that
+// UID values admit only assignment and comparison.
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit, *BoolLit, *StrLit:
+		return c.typeOf(e)
+	case *VarRef:
+		return c.typeOf(e)
+	case *UnaryExpr:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "!" {
+			if t != TypeBool && t != TypeInt && !t.IsUIDLike() {
+				return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("operator ! on %s", t)}
+			}
+			return TypeBool, nil
+		}
+		if t != TypeInt {
+			return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("operator %s on %s", x.Op, t)}
+		}
+		return TypeInt, nil
+	case *BinaryExpr:
+		return c.checkBinary(x)
+	case *CallExpr:
+		return c.checkCall(x)
+	default:
+		return 0, fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+func (c *checker) checkBinary(x *BinaryExpr) (Type, error) {
+	tx, err := c.checkExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	ty, err := c.checkExpr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	// Mark literals compared against UID expressions.
+	if tx.IsUIDLike() {
+		if lit, ok := x.Y.(*IntLit); ok {
+			lit.InferredType = tx
+			ty = tx
+		}
+	}
+	if ty.IsUIDLike() {
+		if lit, ok := x.X.(*IntLit); ok {
+			lit.InferredType = ty
+			tx = ty
+		}
+	}
+	switch {
+	case isComparison(x.Op):
+		if tx != ty {
+			return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("comparison of %s and %s", tx, ty)}
+		}
+		if tx == TypeString && x.Op != "==" && x.Op != "!=" {
+			return 0, &TypeError{Line: x.Line, Msg: "ordered comparison of strings"}
+		}
+		return TypeBool, nil
+	case x.Op == "&&" || x.Op == "||":
+		if tx != TypeBool || ty != TypeBool {
+			return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("%s needs bool operands", x.Op)}
+		}
+		return TypeBool, nil
+	default: // arithmetic
+		// THE §3.3 RULE: arithmetic on UID values is rejected, which
+		// is what makes the reexpression semantics-preserving.
+		if tx.IsUIDLike() || ty.IsUIDLike() {
+			return 0, &TypeError{Line: x.Line,
+				Msg: fmt.Sprintf("arithmetic %q on UID data (only assignment and comparison are allowed, §3.3)", x.Op)}
+		}
+		if x.Op == "+" && tx == TypeString && ty == TypeString {
+			return TypeString, nil
+		}
+		if tx != TypeInt || ty != TypeInt {
+			return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("operator %s on %s and %s", x.Op, tx, ty)}
+		}
+		return TypeInt, nil
+	}
+}
+
+func (c *checker) checkCall(x *CallExpr) (Type, error) {
+	params := c.paramTypes(x.Name)
+	var ret Type
+	if b, ok := c.builtins[x.Name]; ok {
+		ret = b.Ret
+	} else if f, ok := c.prog.Func(x.Name); ok {
+		ret = f.Ret
+	} else {
+		return 0, &TypeError{Line: x.Line, Msg: fmt.Sprintf("undefined function %q", x.Name)}
+	}
+	if len(x.Args) != len(params) {
+		return 0, &TypeError{Line: x.Line,
+			Msg: fmt.Sprintf("%s takes %d arguments, got %d", x.Name, len(params), len(x.Args))}
+	}
+	for i, a := range x.Args {
+		got, err := c.checkExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		if lit, ok := a.(*IntLit); ok && params[i].IsUIDLike() {
+			lit.InferredType = params[i]
+			got = params[i]
+		}
+		if !assignable(params[i], got) {
+			return 0, &TypeError{Line: x.Line,
+				Msg: fmt.Sprintf("argument %d of %s: cannot use %s as %s", i+1, x.Name, got, params[i])}
+		}
+	}
+	return ret, nil
+}
+
+// taintPass propagates UID-derivedness into non-UID variables.
+func (c *checker) taintPass() (bool, error) {
+	changed := false
+	mark := func(key string) {
+		if !c.res.TaintedVars[key] {
+			c.res.TaintedVars[key] = true
+			changed = true
+		}
+	}
+	var tainted func(e Expr) bool
+	tainted = func(e Expr) bool {
+		switch x := e.(type) {
+		case *VarRef:
+			key := c.qual(x.Name)
+			if t, ok := c.varTypes[key]; ok && t.IsUIDLike() {
+				return true
+			}
+			return c.res.TaintedVars[key]
+		case *CallExpr:
+			if b, ok := c.builtins[x.Name]; ok && (b.UIDDerived || b.Ret.IsUIDLike()) {
+				return true
+			}
+			if c.res.TaintedFuncs[x.Name] {
+				return true
+			}
+			if _, ok := c.builtins[x.Name]; !ok {
+				if f, defined := c.prog.Func(x.Name); defined && f.Ret.IsUIDLike() {
+					return true
+				}
+			}
+			for _, a := range x.Args {
+				if tainted(a) {
+					return true
+				}
+			}
+			return false
+		case *UnaryExpr:
+			return tainted(x.X)
+		case *BinaryExpr:
+			return tainted(x.X) || tainted(x.Y)
+		default:
+			return false
+		}
+	}
+	var visit func(s Stmt)
+	visit = func(s Stmt) {
+		switch st := s.(type) {
+		case *VarDecl:
+			if st.Init != nil && tainted(st.Init) {
+				if !c.varTypes[c.qual(st.Name)].IsUIDLike() {
+					mark(c.qual(st.Name))
+				}
+			}
+		case *AssignStmt:
+			if tainted(st.X) {
+				if !c.varTypes[c.qual(st.Name)].IsUIDLike() {
+					mark(c.qual(st.Name))
+				}
+			}
+		case *ReturnStmt:
+			// Interprocedural: a function returning UID-derived data
+			// taints its callers.
+			if st.X != nil && tainted(st.X) && !c.res.TaintedFuncs[c.curFunc.Name] {
+				c.res.TaintedFuncs[c.curFunc.Name] = true
+				changed = true
+			}
+		case *IfStmt:
+			visit(st.Then)
+			if st.Else != nil {
+				visit(st.Else)
+			}
+		case *WhileStmt:
+			visit(st.Body)
+		case *BlockStmt:
+			for _, inner := range st.Stmts {
+				visit(inner)
+			}
+		}
+	}
+	for _, f := range c.prog.Funcs {
+		c.curFunc = f
+		visit(f.Body)
+	}
+	return changed, nil
+}
+
+// Tainted reports whether an expression is UID-derived under the
+// completed analysis (used by the transformer for cond_chk decisions).
+func (r *CheckResult) Tainted(prog *Program, funcName string, e Expr) bool {
+	t := &taintQuery{res: r, prog: prog, fn: funcName, builtins: Builtins()}
+	return t.tainted(e)
+}
+
+type taintQuery struct {
+	res      *CheckResult
+	prog     *Program
+	fn       string
+	builtins map[string]Builtin
+}
+
+func (t *taintQuery) qual(name string) string {
+	if _, ok := t.res.VarTypes[t.fn+"."+name]; ok {
+		return t.fn + "." + name
+	}
+	return "." + name
+}
+
+func (t *taintQuery) tainted(e Expr) bool {
+	switch x := e.(type) {
+	case *VarRef:
+		key := t.qual(x.Name)
+		if typ, ok := t.res.VarTypes[key]; ok && typ.IsUIDLike() {
+			return true
+		}
+		return t.res.TaintedVars[key]
+	case *CallExpr:
+		if b, ok := t.builtins[x.Name]; ok && (b.UIDDerived || b.Ret.IsUIDLike()) {
+			return true
+		}
+		if t.res.TaintedFuncs[x.Name] {
+			return true
+		}
+		if _, ok := t.builtins[x.Name]; !ok {
+			if f, defined := t.prog.Func(x.Name); defined && f.Ret.IsUIDLike() {
+				return true
+			}
+		}
+		for _, a := range x.Args {
+			if t.tainted(a) {
+				return true
+			}
+		}
+		return false
+	case *UnaryExpr:
+		return t.tainted(x.X)
+	case *BinaryExpr:
+		return t.tainted(x.X) || t.tainted(x.Y)
+	case *IntLit:
+		return x.InferredType != 0 && x.InferredType.IsUIDLike()
+	default:
+		return false
+	}
+}
+
+// TypeOfExpr resolves an expression's type under the completed
+// analysis (transformer helper).
+func (r *CheckResult) TypeOfExpr(prog *Program, funcName string, e Expr) Type {
+	t := &taintQuery{res: r, prog: prog, fn: funcName, builtins: Builtins()}
+	return t.typeOf(e)
+}
+
+func (t *taintQuery) typeOf(e Expr) Type {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.InferredType != 0 {
+			return x.InferredType
+		}
+		return TypeInt
+	case *BoolLit:
+		return TypeBool
+	case *StrLit:
+		return TypeString
+	case *VarRef:
+		return t.res.VarTypes[t.qual(x.Name)]
+	case *CallExpr:
+		if b, ok := t.builtins[x.Name]; ok {
+			return b.Ret
+		}
+		if f, ok := t.prog.Func(x.Name); ok {
+			return f.Ret
+		}
+		return 0
+	case *UnaryExpr:
+		if x.Op == "!" {
+			return TypeBool
+		}
+		return TypeInt
+	case *BinaryExpr:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return TypeBool
+		default:
+			return TypeInt
+		}
+	default:
+		return 0
+	}
+}
+
+func lineOf(e Expr) int {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Line
+	case *BoolLit:
+		return x.Line
+	case *StrLit:
+		return x.Line
+	case *VarRef:
+		return x.Line
+	case *CallExpr:
+		return x.Line
+	case *UnaryExpr:
+		return x.Line
+	case *BinaryExpr:
+		return x.Line
+	default:
+		return 0
+	}
+}

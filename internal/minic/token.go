@@ -1,0 +1,199 @@
+// Package minic implements a small C-like language standing in for the
+// C source of the paper's case study (§3.3, §4): a lexer, parser, type
+// checker (with first-class uid_t/gid_t types and Splint-style UID
+// inference), and a tree-walking interpreter bound to the simulated
+// syscall interface — so programs written in minic can run as variants
+// under the N-variant kernel, before and after the automated UID
+// transformation implemented in package transform.
+//
+// The type checker enforces the paper's central §3.3 assumption
+// statically: only assignment and comparison operations may be applied
+// to UID values (arithmetic on uid_t is a type error).
+package minic
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokInt
+	TokString
+	TokKeyword
+	TokPunct
+)
+
+// String names the kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one lexical token.
+type Token struct {
+	// Kind classifies the token.
+	Kind TokenKind
+	// Text is the raw lexeme (decoded for strings).
+	Text string
+	// Line is the 1-based source line.
+	Line int
+}
+
+// keywords of the language. The C type names uid_t and gid_t are
+// keywords so the type checker can track UID data precisely.
+var keywords = map[string]bool{
+	"int": true, "uid_t": true, "gid_t": true, "bool": true,
+	"string": true, "void": true,
+	"if": true, "else": true, "while": true, "return": true,
+	"true": true, "false": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its line.
+type SyntaxError struct {
+	// Line is the 1-based source line.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minic:%d: %s", e.Line, e.Msg)
+}
+
+// Lex tokenizes source text.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated block comment"}
+			}
+			i += 2
+		case isDigit(c):
+			j := i
+			for j < len(src) && (isDigit(src[j]) || src[j] == 'x' || src[j] == 'X' || isHex(src[j])) {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[i:j], Line: line})
+			i = j
+		case isAlpha(c):
+			j := i
+			for j < len(src) && (isAlpha(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			var out []byte
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, &SyntaxError{Line: line, Msg: "newline in string literal"}
+				}
+				if src[j] == '\\' && j+1 < len(src) {
+					switch src[j+1] {
+					case 'n':
+						out = append(out, '\n')
+					case 't':
+						out = append(out, '\t')
+					case '"':
+						out = append(out, '"')
+					case '\\':
+						out = append(out, '\\')
+					default:
+						return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("bad escape \\%c", src[j+1])}
+					}
+					j += 2
+					continue
+				}
+				out = append(out, src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: string(out), Line: line})
+			i = j + 1
+		default:
+			if p := lexPunct(src[i:]); p != "" {
+				toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+				i += len(p)
+				continue
+			}
+			return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Text: "", Line: line})
+	return toks, nil
+}
+
+// twoCharPuncts in match order.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+// oneCharPuncts accepted.
+const oneCharPuncts = "+-*/%<>!=(){};,"
+
+func lexPunct(s string) string {
+	for _, p := range twoCharPuncts {
+		if len(s) >= 2 && s[:2] == p {
+			return p
+		}
+	}
+	for i := 0; i < len(oneCharPuncts); i++ {
+		if s[0] == oneCharPuncts[i] {
+			return s[:1]
+		}
+	}
+	return ""
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,79 @@
+package nvkernel
+
+import "fmt"
+
+// Reason classifies why the monitor raised an alarm.
+type Reason int
+
+// Alarm reasons.
+const (
+	// ReasonSyscallMismatch: variants arrived at different syscalls.
+	ReasonSyscallMismatch Reason = iota + 1
+	// ReasonArgDivergence: non-UID syscall arguments differ after
+	// canonicalization.
+	ReasonArgDivergence
+	// ReasonUIDDivergence: UID-typed arguments decode to different
+	// canonical values (or an invalid representation) — the detection
+	// property of the UID variation firing.
+	ReasonUIDDivergence
+	// ReasonCondDivergence: a cond_chk condition differed between
+	// variants.
+	ReasonCondDivergence
+	// ReasonDataDivergence: output payloads differ between variants.
+	ReasonDataDivergence
+	// ReasonVariantFault: a variant crashed (e.g., segmentation fault
+	// in its simulated address space) while others were healthy.
+	ReasonVariantFault
+	// ReasonExitMismatch: variants exited with different statuses.
+	ReasonExitMismatch
+	// ReasonTimeout: a variant failed to reach the rendezvous in time.
+	ReasonTimeout
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonSyscallMismatch:
+		return "syscall-mismatch"
+	case ReasonArgDivergence:
+		return "arg-divergence"
+	case ReasonUIDDivergence:
+		return "uid-divergence"
+	case ReasonCondDivergence:
+		return "cond-divergence"
+	case ReasonDataDivergence:
+		return "data-divergence"
+	case ReasonVariantFault:
+		return "variant-fault"
+	case ReasonExitMismatch:
+		return "exit-mismatch"
+	case ReasonTimeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// Alarm is the monitor's report of a detected divergence: in the
+// paper's threat model, an alarm is a detected attack (any divergence
+// on identical inputs indicates compromise, §1).
+type Alarm struct {
+	// Reason classifies the divergence.
+	Reason Reason
+	// Syscall names the rendezvous at which the divergence was seen
+	// (its String is "unknown" for timeouts before arrival).
+	Syscall string
+	// Seq is the rendezvous sequence number.
+	Seq int
+	// Variant is the offending variant when identifiable, else -1.
+	Variant int
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// Error renders the alarm; Alarm implements error so kernel internals
+// can propagate it, but it is reported via Result, not returned.
+func (a *Alarm) Error() string {
+	return fmt.Sprintf("nvariant alarm [%s] at syscall %s (seq %d, variant %d): %s",
+		a.Reason, a.Syscall, a.Seq, a.Variant, a.Detail)
+}

@@ -1,0 +1,518 @@
+package nvkernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"nvariant/internal/simnet"
+	"nvariant/internal/sys"
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+// entryKind distinguishes descriptor table entries.
+type entryKind int
+
+const (
+	kindFree entryKind = iota
+	kindFile
+	kindListener
+	kindConn
+)
+
+// fileEntry is one synchronized slot of the per-variant file tables:
+// slot k of variant i's table corresponds to slot k of variant j's
+// (§3.4). For shared files all variants reference the same open file
+// description; for unshared files each variant has its own.
+type fileEntry struct {
+	kind     entryKind
+	shared   bool
+	files    []*vos.OpenFile
+	listener *simnet.Listener
+	conn     *simnet.Conn
+}
+
+const fdBase = 3 // 0,1,2 are stdin/stdout/stderr
+
+// slotFor returns the table slot for fd, or an error.
+func (s *system) slotFor(fd word.Word) (int, error) {
+	idx := int(fd) - fdBase
+	if idx < 0 || idx >= len(s.files) || s.files[idx].kind == kindFree {
+		return 0, fmt.Errorf("fd %d: %w", fd, vos.ErrBadFD)
+	}
+	return idx, nil
+}
+
+// allocSlot finds or creates a free slot and returns its index.
+func (s *system) allocSlot() int {
+	for i := range s.files {
+		if s.files[i].kind == kindFree {
+			return i
+		}
+	}
+	s.files = append(s.files, fileEntry{})
+	return len(s.files) - 1
+}
+
+// execute performs the (already equivalence-checked) syscall. canon is
+// the canonical argument vector. It returns true when the monitor loop
+// should stop (exit or alarm).
+func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*callMsg, seq int) bool {
+	switch num {
+	case sys.Exit:
+		// canonicalArgs already guaranteed equal statuses; a status
+		// mismatch therefore surfaced as ReasonArgDivergence. Record
+		// the clean exit and release everyone.
+		s.exited = true
+		s.status = canon[0]
+		s.closeAll()
+		replyAll(msgs, sys.Reply{Val: canon[0]})
+		return true
+
+	case sys.Open:
+		return s.execOpen(canon, msgs, seq, spec)
+
+	case sys.CloseFD:
+		idx, err := s.slotFor(canon[0])
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		s.closeSlot(idx)
+		replyAll(msgs, sys.Reply{})
+		return false
+
+	case sys.Read:
+		return s.execRead(canon, msgs, seq, spec)
+
+	case sys.Write:
+		return s.execWrite(canon, msgs, seq, spec)
+
+	case sys.Stat:
+		info, err := s.world.FS.Stat(string(msgs[0].call.Data), s.cred)
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		replyAll(msgs, sys.Reply{Val: word.Word(uint32(info.Size))})
+		return false
+
+	case sys.Getuid, sys.Geteuid, sys.Getgid, sys.Getegid:
+		var real word.Word
+		switch num {
+		case sys.Getuid:
+			real = s.cred.RUID
+		case sys.Geteuid:
+			real = s.cred.EUID
+		case sys.Getgid:
+			real = s.cred.RGID
+		default:
+			real = s.cred.EGID
+		}
+		// Input class: the trusted result is reexpressed per variant
+		// (§3.5: "giving each variant its own varied UID value").
+		for i, m := range msgs {
+			rep, err := s.cfg.UIDFuncs[i].Apply(real)
+			if err != nil {
+				s.raise(&Alarm{
+					Reason: ReasonUIDDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
+					Detail: fmt.Sprintf("cannot reexpress %s: %v", real.Decimal(), err),
+				}, msgs)
+				return true
+			}
+			m.reply <- sys.Reply{Val: rep}
+		}
+		return false
+
+	case sys.Setuid, sys.Seteuid, sys.Setreuid, sys.Setgid, sys.Setegid:
+		cred := s.cred
+		var err error
+		switch num {
+		case sys.Setuid:
+			err = cred.Setuid(canon[0])
+		case sys.Seteuid:
+			err = cred.Seteuid(canon[0])
+		case sys.Setreuid:
+			err = cred.Setreuid(canon[0], canon[1])
+		case sys.Setgid:
+			err = cred.Setgid(canon[0])
+		default:
+			err = cred.Setegid(canon[0])
+		}
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		s.cred = cred
+		replyAll(msgs, sys.Reply{})
+		return false
+
+	case sys.Listen:
+		l, err := s.net.Listen(uint16(canon[0]))
+		if err != nil {
+			s.replyErrno(msgs, vos.ErrInval)
+			return false
+		}
+		idx := s.allocSlot()
+		s.files[idx] = fileEntry{kind: kindListener, shared: true, listener: l}
+		replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
+		return false
+
+	case sys.Accept:
+		idx, err := s.slotFor(canon[0])
+		if err != nil || s.files[idx].kind != kindListener {
+			s.replyErrno(msgs, vos.ErrBadFD)
+			return false
+		}
+		conn, err := s.files[idx].listener.Accept()
+		if err != nil {
+			s.replyErrno(msgs, vos.ErrBadFD)
+			return false
+		}
+		cidx := s.allocSlot()
+		s.files[cidx] = fileEntry{kind: kindConn, shared: true, conn: conn}
+		replyAll(msgs, sys.Reply{Val: word.Word(cidx + fdBase)})
+		return false
+
+	case sys.Recv:
+		return s.execRecv(canon, msgs, seq, spec)
+
+	case sys.Send:
+		return s.execSend(canon, msgs, seq, spec)
+
+	case sys.Time:
+		s.vtime++
+		replyAll(msgs, sys.Reply{Val: s.vtime})
+		return false
+
+	case sys.UIDValue:
+		// Equivalence was established by canonicalArgs; return each
+		// variant its own passed value (Table 2).
+		for _, m := range msgs {
+			m.reply <- sys.Reply{Val: m.call.Args[0]}
+		}
+		return false
+
+	case sys.CondChk:
+		replyAll(msgs, sys.Reply{Val: canon[0]})
+		return false
+
+	case sys.CCEq, sys.CCNeq, sys.CCLt, sys.CCLeq, sys.CCGt, sys.CCGeq:
+		// Comparison computed on canonical values, so no operator
+		// reversal is needed in transformed variants (§3.5).
+		a, b := canon[0], canon[1]
+		var truth bool
+		switch num {
+		case sys.CCEq:
+			truth = a == b
+		case sys.CCNeq:
+			truth = a != b
+		case sys.CCLt:
+			truth = a < b
+		case sys.CCLeq:
+			truth = a <= b
+		case sys.CCGt:
+			truth = a > b
+		default:
+			truth = a >= b
+		}
+		val := word.Word(0)
+		if truth {
+			val = 1
+		}
+		replyAll(msgs, sys.Reply{Val: val})
+		return false
+
+	default:
+		s.raise(&Alarm{
+			Reason: ReasonSyscallMismatch, Syscall: spec.Name, Seq: seq, Variant: 0,
+			Detail: fmt.Sprintf("unimplemented syscall %s", spec.Name),
+		}, msgs)
+		return true
+	}
+}
+
+// execOpen opens a file, honouring the unshared-file mechanism: when
+// the path is marked unshared, each variant opens its own diversified
+// version and the shared bit of the slot is cleared (§3.4).
+func (s *system) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	path := string(msgs[0].call.Data)
+	flags := vos.OpenFlag(canon[0])
+	perm := vos.Mode(canon[1])
+
+	if s.cfg.Unshared[path] && s.n > 1 {
+		files := make([]*vos.OpenFile, s.n)
+		for i := 0; i < s.n; i++ {
+			f, err := s.world.FS.Open(UnsharedPath(path, i), flags, perm, s.cred)
+			if err != nil {
+				for j := 0; j < i; j++ {
+					_ = files[j].Close()
+				}
+				s.replyErrno(msgs, err)
+				return false
+			}
+			files[i] = f
+		}
+		idx := s.allocSlot()
+		s.files[idx] = fileEntry{kind: kindFile, shared: false, files: files}
+		replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
+		return false
+	}
+
+	f, err := s.world.FS.Open(path, flags, perm, s.cred)
+	if err != nil {
+		s.replyErrno(msgs, err)
+		return false
+	}
+	files := make([]*vos.OpenFile, s.n)
+	for i := range files {
+		files[i] = f
+	}
+	idx := s.allocSlot()
+	s.files[idx] = fileEntry{kind: kindFile, shared: true, files: files}
+	replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
+	return false
+}
+
+// execRead implements the input class for files: shared files are read
+// once with the result replicated into every variant's memory;
+// unshared files are read per variant from the variant's own file.
+func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	idx, err := s.slotFor(canon[0])
+	if err != nil {
+		s.replyErrno(msgs, err)
+		return false
+	}
+	entry := &s.files[idx]
+	if entry.kind != kindFile {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+	n := uint32(canon[2])
+
+	if entry.shared {
+		buf := make([]byte, n)
+		cnt, err := entry.files[0].Read(buf)
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		for i, m := range msgs {
+			addr := m.call.Args[1]
+			if err := s.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
+				s.raise(&Alarm{
+					Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+					Detail: fmt.Sprintf("copy to variant memory: %v", err),
+				}, msgs)
+				return true
+			}
+		}
+		replyAll(msgs, sys.Reply{Val: word.Word(cnt)})
+		return false
+	}
+
+	// Unshared: per-variant reads on per-variant files; lengths,
+	// counts and data may legitimately differ because the contents
+	// are diversified.
+	for i, m := range msgs {
+		buf := make([]byte, uint32(m.call.Args[2]))
+		cnt, err := entry.files[i].Read(buf)
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		addr := m.call.Args[1]
+		if err := s.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
+			s.raise(&Alarm{
+				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+				Detail: fmt.Sprintf("copy to variant memory: %v", err),
+			}, msgs)
+			return true
+		}
+		m.reply <- sys.Reply{Val: word.Word(cnt)}
+	}
+	return false
+}
+
+// gatherPayloads reads each variant's output payload from its memory
+// and checks byte equality (output equivalence, §3.1). A memory fault
+// is a variant fault; divergent payloads are a data-divergence alarm
+// (this is how the Apache UID-in-log-message pitfall of §4 manifests).
+func (s *system) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) ([]byte, bool) {
+	n := uint32(canon[2])
+	var first []byte
+	for i, m := range msgs {
+		addr := m.call.Args[1]
+		b, err := s.variants[i].mem.ReadBytes(addr, n)
+		if err != nil {
+			s.raise(&Alarm{
+				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+				Detail: fmt.Sprintf("copy from variant memory: %v", err),
+			}, msgs)
+			return nil, false
+		}
+		if i == 0 {
+			first = b
+			continue
+		}
+		if !bytes.Equal(b, first) {
+			s.raise(&Alarm{
+				Reason: ReasonDataDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
+				Detail: fmt.Sprintf("output payload differs from variant 0 (%d bytes)", n),
+			}, msgs)
+			return nil, false
+		}
+	}
+	return first, true
+}
+
+// execWrite implements the output class: payloads are cross-checked
+// and the write performed once. Writes to unshared files are performed
+// per variant without cross-checking (each variant owns its file).
+func (s *system) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	fd := canon[0]
+	if fd == sys.FDStdout || fd == sys.FDStderr {
+		data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+		if !ok {
+			return true
+		}
+		if fd == sys.FDStdout {
+			s.stdout = append(s.stdout, data...)
+		} else {
+			s.stderr = append(s.stderr, data...)
+		}
+		replyAll(msgs, sys.Reply{Val: word.Word(len(data))})
+		return false
+	}
+
+	idx, err := s.slotFor(fd)
+	if err != nil {
+		s.replyErrno(msgs, err)
+		return false
+	}
+	entry := &s.files[idx]
+	if entry.kind != kindFile {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+
+	if entry.shared {
+		data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+		if !ok {
+			return true
+		}
+		cnt, err := entry.files[0].Write(data)
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		replyAll(msgs, sys.Reply{Val: word.Word(cnt)})
+		return false
+	}
+
+	for i, m := range msgs {
+		b, err := s.variants[i].mem.ReadBytes(m.call.Args[1], uint32(m.call.Args[2]))
+		if err != nil {
+			s.raise(&Alarm{
+				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+				Detail: fmt.Sprintf("copy from variant memory: %v", err),
+			}, msgs)
+			return true
+		}
+		cnt, err := entry.files[i].Write(b)
+		if err != nil {
+			s.replyErrno(msgs, err)
+			return false
+		}
+		m.reply <- sys.Reply{Val: word.Word(cnt)}
+	}
+	return false
+}
+
+// execRecv performs the network input once and replicates the message
+// into every variant's memory.
+func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	idx, err := s.slotFor(canon[0])
+	if err != nil || s.files[idx].kind != kindConn {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+	data, err := s.files[idx].conn.Recv()
+	if err != nil {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+	if data == nil {
+		replyAll(msgs, sys.Reply{Val: 0}) // end of stream
+		return false
+	}
+	capacity := uint32(canon[2])
+	// Faithful to the planted vulnerability: the kernel copies the
+	// whole message into variant memory; bounding the copy is the
+	// *program's* job, and the vulnerable server passes a capacity
+	// larger than its parse buffer. A message exceeding the declared
+	// capacity is still bounded by it here — the overflow happens in
+	// the program's own unchecked copy, not in the kernel.
+	if uint32(len(data)) > capacity {
+		data = data[:capacity]
+	}
+	for i, m := range msgs {
+		if err := s.variants[i].mem.WriteBytes(m.call.Args[1], data); err != nil {
+			s.raise(&Alarm{
+				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+				Detail: fmt.Sprintf("copy to variant memory: %v", err),
+			}, msgs)
+			return true
+		}
+	}
+	replyAll(msgs, sys.Reply{Val: word.Word(uint32(len(data)))})
+	return false
+}
+
+// execSend cross-checks payloads and transmits once.
+func (s *system) execSend(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	idx, err := s.slotFor(canon[0])
+	if err != nil || s.files[idx].kind != kindConn {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+	data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+	if !ok {
+		return true
+	}
+	if err := s.files[idx].conn.Send(data); err != nil {
+		s.replyErrno(msgs, vos.ErrBadFD)
+		return false
+	}
+	replyAll(msgs, sys.Reply{Val: word.Word(len(data))})
+	return false
+}
+
+// closeSlot releases one descriptor slot.
+func (s *system) closeSlot(idx int) {
+	entry := &s.files[idx]
+	switch entry.kind {
+	case kindFile:
+		if entry.shared {
+			_ = entry.files[0].Close()
+		} else {
+			for _, f := range entry.files {
+				_ = f.Close()
+			}
+		}
+	case kindListener:
+		_ = entry.listener.Close()
+	case kindConn:
+		_ = entry.conn.Close()
+	}
+	s.files[idx] = fileEntry{}
+}
+
+// closeAll releases every descriptor (on exit).
+func (s *system) closeAll() {
+	for i := range s.files {
+		if s.files[i].kind != kindFree {
+			s.closeSlot(i)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package nvkernel implements the N-variant monitor "kernel" of the
+// paper (§3.1): it launches N variants of a program, synchronizes them
+// at system-call boundaries, checks that every rendezvous is made with
+// equivalent arguments (after per-variant inverse reexpression of
+// UID-typed data), performs input system calls once (replicating
+// results to all variants), performs output system calls once (after
+// cross-checking payloads), supports unshared files with per-variant
+// contents (§3.4), and implements the detection system calls of
+// Table 2. Any divergence raises an Alarm, which in the paper's threat
+// model is a detected attack.
+//
+// The paper's implementation is a modified Linux kernel; this is a
+// user-space simulation of exactly the syscall-boundary contract the
+// paper states, with variants as goroutines over simulated address
+// spaces (see DESIGN.md, substitutions table).
+package nvkernel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nvariant/internal/simnet"
+	"nvariant/internal/sys"
+	"nvariant/internal/vmem"
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+// Result is the outcome of running an N-variant process group.
+type Result struct {
+	// Clean reports an orderly exit with no alarm.
+	Clean bool
+	// Status is the exit status (valid when Clean).
+	Status word.Word
+	// Alarm is non-nil when the monitor detected divergence.
+	Alarm *Alarm
+	// Stdout captures bytes written to fd 1 (written once, as with any
+	// output syscall).
+	Stdout []byte
+	// Stderr captures bytes written to fd 2.
+	Stderr []byte
+	// Rendezvous counts monitored syscall rendezvous.
+	Rendezvous int
+	// VariantErrs holds each variant's terminal error (nil for clean
+	// returns and monitor kills).
+	VariantErrs []error
+}
+
+// Detected reports whether the run ended in an alarm.
+func (r *Result) Detected() bool { return r.Alarm != nil }
+
+// callMsg is one variant's arrival at a syscall rendezvous.
+type callMsg struct {
+	call  sys.Call
+	reply chan sys.Reply
+}
+
+// variantRT is the runtime state of one variant.
+type variantRT struct {
+	id    int
+	calls chan *callMsg
+	done  chan struct{}
+	err   error
+	mem   *vmem.Space
+}
+
+// Run executes progs (one per variant) as an N-variant process group
+// under the monitor. len(progs) is the group size: 1 reproduces the
+// paper's "unmodified kernel" baseline configurations, 2 the deployed
+// systems.
+func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Option) (*Result, error) {
+	n := len(progs)
+	if n == 0 {
+		return nil, errors.New("nvkernel: no variants")
+	}
+	cfg := defaultConfig(n)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.UIDFuncs) != n {
+		return nil, fmt.Errorf("nvkernel: %d UID funcs for %d variants", len(cfg.UIDFuncs), n)
+	}
+
+	s := &system{
+		world: world,
+		net:   net,
+		cfg:   cfg,
+		n:     n,
+		cred:  cfg.Cred,
+	}
+
+	variants := make([]*variantRT, n)
+	for i := 0; i < n; i++ {
+		part := vmem.PartitionNone
+		if cfg.AddressPartition {
+			if i == 0 {
+				part = vmem.PartitionLow
+			} else {
+				part = vmem.PartitionHigh
+			}
+		}
+		variants[i] = &variantRT{
+			id:    i,
+			calls: make(chan *callMsg),
+			done:  make(chan struct{}),
+			mem:   vmem.New(part),
+		}
+	}
+	s.variants = variants
+
+	for i := 0; i < n; i++ {
+		v := variants[i]
+		prog := progs[i]
+		invoke := func(call sys.Call) sys.Reply {
+			msg := &callMsg{call: call, reply: make(chan sys.Reply, 1)}
+			v.calls <- msg
+			return <-msg.reply
+		}
+		ctx := sys.NewContext(i, n, v.mem, invoke)
+		go func() {
+			defer close(v.done)
+			err := prog.Run(ctx)
+			if err == nil && !ctx.Exited() {
+				err = ctx.Exit(0)
+			}
+			if err != nil && !errors.Is(err, sys.ErrKilled) {
+				v.err = err
+			}
+		}()
+	}
+
+	s.monitor()
+
+	// Drain: answer any straggler syscalls with Killed until every
+	// variant goroutine has returned. A variant that spins without
+	// syscalls cannot be preempted (goroutines are not killable the
+	// way the paper's kernel SIGKILLs a process), so the wait is
+	// bounded by a grace period; stragglers are reported as such.
+	for _, v := range variants {
+		go func(v *variantRT) {
+			for {
+				select {
+				case m := <-v.calls:
+					m.reply <- sys.Reply{Killed: true}
+				case <-v.done:
+					return
+				}
+			}
+		}(v)
+	}
+	allDone := make(chan struct{})
+	go func() {
+		for _, v := range variants {
+			<-v.done
+		}
+		close(allDone)
+	}()
+	select {
+	case <-allDone:
+	case <-time.After(cfg.Timeout):
+	}
+
+	res := &Result{
+		Clean:       s.alarm == nil && s.exited,
+		Status:      s.status,
+		Alarm:       s.alarm,
+		Stdout:      s.stdout,
+		Stderr:      s.stderr,
+		Rendezvous:  s.rendezvous,
+		VariantErrs: make([]error, n),
+	}
+	for i, v := range variants {
+		select {
+		case <-v.done:
+			res.VariantErrs[i] = v.err
+		default:
+			res.VariantErrs[i] = errStillRunning
+		}
+	}
+	return res, nil
+}
+
+// errStillRunning marks a variant that had not terminated when the
+// post-alarm grace period expired.
+var errStillRunning = errors.New("nvkernel: variant still running at shutdown")
+
+// system is the kernel state for one process group.
+type system struct {
+	world    *vos.World
+	net      *simnet.Network
+	cfg      Config
+	n        int
+	variants []*variantRT
+
+	cred  vos.Cred
+	files []fileEntry
+	vtime word.Word
+
+	stdout, stderr []byte
+
+	rendezvous int
+	alarm      *Alarm
+	exited     bool
+	status     word.Word
+}
+
+// monitor runs the rendezvous loop until exit or alarm.
+func (s *system) monitor() {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		msgs := make([]*callMsg, s.n)
+		if timer == nil {
+			timer = time.NewTimer(s.cfg.Timeout)
+		} else {
+			timer.Reset(s.cfg.Timeout)
+		}
+		for i, v := range s.variants {
+			select {
+			case m := <-v.calls:
+				msgs[i] = m
+			case <-v.done:
+				// A variant died without reaching the rendezvous:
+				// alarm (unless the whole group already exited).
+				detail := "variant terminated unexpectedly"
+				if v.err != nil {
+					detail = v.err.Error()
+				}
+				s.raise(&Alarm{
+					Reason:  ReasonVariantFault,
+					Syscall: "(none)",
+					Seq:     s.rendezvous,
+					Variant: i,
+					Detail:  detail,
+				}, msgs)
+				return
+			case <-timer.C:
+				s.raise(&Alarm{
+					Reason:  ReasonTimeout,
+					Syscall: "(none)",
+					Seq:     s.rendezvous,
+					Variant: i,
+					Detail:  fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout),
+				}, msgs)
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+
+		s.rendezvous++
+		done := s.dispatch(msgs)
+		if done {
+			return
+		}
+	}
+}
+
+// raise records the alarm, kills all gathered variants, and releases
+// every descriptor the group held — as the kernel would on SIGKILL of
+// the process group. Closing connections is what a remote attacker
+// observes: the connection drops with no response.
+func (s *system) raise(a *Alarm, pending []*callMsg) {
+	if s.alarm == nil {
+		s.alarm = a
+	}
+	for _, m := range pending {
+		if m != nil {
+			m.reply <- sys.Reply{Killed: true}
+		}
+	}
+	s.closeAll()
+}
+
+// dispatch checks rendezvous equivalence and executes the syscall.
+// It returns true when the monitor loop should stop.
+func (s *system) dispatch(msgs []*callMsg) bool {
+	seq := s.rendezvous - 1
+	num := msgs[0].call.Num
+	spec, ok := sys.SpecFor(num)
+	if !ok {
+		s.raise(&Alarm{
+			Reason: ReasonSyscallMismatch, Syscall: "unknown", Seq: seq, Variant: 0,
+			Detail: fmt.Sprintf("unknown syscall number %d", num),
+		}, msgs)
+		return true
+	}
+
+	// All variants must make the same system call (§3.1).
+	for i := 1; i < s.n; i++ {
+		if msgs[i].call.Num != num {
+			s.raise(&Alarm{
+				Reason:  ReasonSyscallMismatch,
+				Syscall: spec.Name,
+				Seq:     seq,
+				Variant: i,
+				Detail: fmt.Sprintf("variant 0 at %s, variant %d at %s",
+					num, i, msgs[i].call.Num),
+			}, msgs)
+			return true
+		}
+	}
+
+	// I/O on unshared files is per-variant by design (§3.4): each
+	// variant reads or writes its own diversified file, so buffer
+	// addresses and lengths may legitimately differ. Only the file
+	// descriptor is required to agree; everything else is handled
+	// per variant by the executor.
+	if num == sys.Read || num == sys.Write {
+		if alarm := s.checkArgCounts(spec, msgs, seq); alarm != nil {
+			s.raise(alarm, msgs)
+			return true
+		}
+		fd0 := msgs[0].call.Args[0]
+		if idx, err := s.slotFor(fd0); err == nil &&
+			s.files[idx].kind == kindFile && !s.files[idx].shared {
+			for i := 1; i < s.n; i++ {
+				if msgs[i].call.Args[0] != fd0 {
+					s.raise(&Alarm{
+						Reason:  ReasonArgDivergence,
+						Syscall: spec.Name,
+						Seq:     seq,
+						Variant: i,
+						Detail:  fmt.Sprintf("fd %d differs from variant 0's %d", msgs[i].call.Args[0], fd0),
+					}, msgs)
+					return true
+				}
+			}
+			return s.execute(spec, num, []word.Word{fd0, 0, 0}, msgs, seq)
+		}
+	}
+
+	// Canonicalize and compare arguments.
+	canon, alarm := s.canonicalArgs(spec, msgs, seq)
+	if alarm != nil {
+		s.raise(alarm, msgs)
+		return true
+	}
+
+	// Paths must be identical.
+	if spec.TakesPath {
+		p0 := string(msgs[0].call.Data)
+		for i := 1; i < s.n; i++ {
+			if string(msgs[i].call.Data) != p0 {
+				s.raise(&Alarm{
+					Reason:  ReasonArgDivergence,
+					Syscall: spec.Name,
+					Seq:     seq,
+					Variant: i,
+					Detail:  fmt.Sprintf("path %q differs from variant 0's %q", msgs[i].call.Data, p0),
+				}, msgs)
+				return true
+			}
+		}
+	}
+
+	return s.execute(spec, num, canon, msgs, seq)
+}
+
+// checkArgCounts validates each variant's argument count against the
+// spec.
+func (s *system) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm {
+	nargs := len(spec.Args)
+	for i, m := range msgs {
+		if len(m.call.Args) != nargs {
+			return &Alarm{
+				Reason:  ReasonArgDivergence,
+				Syscall: spec.Name,
+				Seq:     seq,
+				Variant: i,
+				Detail:  fmt.Sprintf("argument count %d, want %d", len(m.call.Args), nargs),
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalArgs inverts/normalizes each variant's arguments and checks
+// cross-variant equivalence, returning variant 0's canonical vector.
+func (s *system) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Word, *Alarm) {
+	if alarm := s.checkArgCounts(spec, msgs, seq); alarm != nil {
+		return nil, alarm
+	}
+	nargs := len(spec.Args)
+	canon := make([]word.Word, nargs)
+	for j := 0; j < nargs; j++ {
+		kind := spec.Args[j]
+		var c0 word.Word
+		for i := 0; i < s.n; i++ {
+			raw := msgs[i].call.Args[j]
+			var cv word.Word
+			switch kind {
+			case sys.ArgUID:
+				inv, err := s.cfg.UIDFuncs[i].Invert(raw)
+				if err != nil {
+					return nil, &Alarm{
+						Reason:  ReasonUIDDivergence,
+						Syscall: spec.Name,
+						Seq:     seq,
+						Variant: i,
+						Detail:  fmt.Sprintf("arg %d: invalid UID representation %s: %v", j, raw, err),
+					}
+				}
+				cv = inv
+			case sys.ArgAddr:
+				cv = vmem.Canonical(raw)
+			default:
+				cv = raw
+			}
+			if i == 0 {
+				c0 = cv
+				continue
+			}
+			if cv != c0 {
+				reason := ReasonArgDivergence
+				detail := fmt.Sprintf("arg %d: canonical %s differs from variant 0's %s", j, cv, c0)
+				switch kind {
+				case sys.ArgUID:
+					reason = ReasonUIDDivergence
+					detail = fmt.Sprintf(
+						"arg %d: UID decodes to %s in variant %d but %s in variant 0 (raw %s vs %s)",
+						j, cv.Decimal(), i, c0.Decimal(), msgs[i].call.Args[j], msgs[0].call.Args[j])
+				case sys.ArgBool:
+					reason = ReasonCondDivergence
+					detail = fmt.Sprintf("condition value %d differs from variant 0's %d", cv, c0)
+				}
+				return nil, &Alarm{
+					Reason:  reason,
+					Syscall: spec.Name,
+					Seq:     seq,
+					Variant: i,
+					Detail:  detail,
+				}
+			}
+		}
+		canon[j] = c0
+	}
+	return canon, nil
+}
+
+// replyAll sends the same reply to every variant.
+func replyAll(msgs []*callMsg, r sys.Reply) {
+	for _, m := range msgs {
+		m.reply <- r
+	}
+}
+
+// replyErrno sends an errno reply to every variant.
+func (s *system) replyErrno(msgs []*callMsg, err error) {
+	if e, ok := vos.AsErrno(err); ok {
+		replyAll(msgs, sys.Reply{Errno: e})
+		return
+	}
+	replyAll(msgs, sys.Reply{Errno: vos.ErrInval})
+}

@@ -1,0 +1,135 @@
+package nvkernel
+
+import (
+	"fmt"
+	"time"
+
+	"nvariant/internal/reexpress"
+	"nvariant/internal/vos"
+)
+
+// Config collects the kernel configuration for one N-variant process
+// group. Construct via options passed to Run.
+type Config struct {
+	// UIDFuncs holds each variant's UID reexpression function. Length
+	// must equal the number of variants; defaults to identity for all.
+	UIDFuncs []reexpress.Func
+	// AddressPartition places variant i's simulated address space in
+	// partition i (variant 0 low, variant 1 high).
+	AddressPartition bool
+	// Unshared is the set of paths with per-variant file versions
+	// ("/etc/passwd" is served as "/etc/passwd-0" / "/etc/passwd-1").
+	Unshared map[string]bool
+	// Timeout bounds how long the monitor waits for all variants to
+	// reach a rendezvous before raising a timeout alarm.
+	Timeout time.Duration
+	// Cred is the initial (real) credential set of the process group.
+	Cred vos.Cred
+}
+
+// Option configures Run.
+type Option func(*Config)
+
+// defaultConfig returns the baseline configuration for n variants.
+func defaultConfig(n int) Config {
+	funcs := make([]reexpress.Func, n)
+	for i := range funcs {
+		funcs[i] = reexpress.Identity{}
+	}
+	return Config{
+		UIDFuncs: funcs,
+		Unshared: make(map[string]bool),
+		Timeout:  30 * time.Second,
+		Cred:     vos.CredFor(vos.Root, 0),
+	}
+}
+
+// WithUIDVariation installs the UID data variation: variant i's
+// trusted UID data is reexpressed with pair's function i and the
+// kernel applies the inverse at every UID-bearing syscall.
+func WithUIDVariation(pair reexpress.Pair) Option {
+	return func(c *Config) {
+		c.UIDFuncs = pair.Funcs()
+	}
+}
+
+// WithUIDFuncs installs explicit per-variant UID functions (for N≠2 or
+// ablation experiments).
+func WithUIDFuncs(funcs ...reexpress.Func) Option {
+	return func(c *Config) {
+		c.UIDFuncs = append([]reexpress.Func(nil), funcs...)
+	}
+}
+
+// WithAddressPartition runs variants in disjoint simulated address
+// partitions (Figure 1).
+func WithAddressPartition() Option {
+	return func(c *Config) { c.AddressPartition = true }
+}
+
+// WithUnsharedFiles marks paths as unshared: each variant opens its
+// own "-<variant>" suffixed version (§3.4).
+func WithUnsharedFiles(paths ...string) Option {
+	return func(c *Config) {
+		for _, p := range paths {
+			c.Unshared[p] = true
+		}
+	}
+}
+
+// WithTimeout sets the rendezvous timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Config) { c.Timeout = d }
+}
+
+// WithCred sets the group's initial credentials (default root).
+func WithCred(cred vos.Cred) Option {
+	return func(c *Config) { c.Cred = cred }
+}
+
+// UnsharedPath returns the per-variant path for an unshared file.
+func UnsharedPath(path string, variant int) string {
+	return fmt.Sprintf("%s-%d", path, variant)
+}
+
+// SetupUnsharedPasswd writes the diversified /etc/passwd-<i> and
+// /etc/group-<i> files for each variant: identical to the canonical
+// database except every UID and GID is transformed with the variant's
+// reexpression function (§3.4). This is done by the trusted variant
+// builder, never by the running server — embedding the reexpression
+// function in the server would give attackers a reusable oracle (§5).
+func SetupUnsharedPasswd(world *vos.World, funcs []reexpress.Func) error {
+	root := vos.CredFor(vos.Root, 0)
+	for i, f := range funcs {
+		users := make([]vos.User, len(world.Users))
+		for j, u := range world.Users {
+			uid, err := f.Apply(u.UID)
+			if err != nil {
+				return fmt.Errorf("reexpress uid %s for variant %d: %w", u.UID.Decimal(), i, err)
+			}
+			gid, err := f.Apply(u.GID)
+			if err != nil {
+				return fmt.Errorf("reexpress gid %s for variant %d: %w", u.GID.Decimal(), i, err)
+			}
+			users[j] = u
+			users[j].UID = uid
+			users[j].GID = gid
+		}
+		groups := make([]vos.Group, len(world.Groups))
+		for j, g := range world.Groups {
+			gid, err := f.Apply(g.GID)
+			if err != nil {
+				return fmt.Errorf("reexpress gid %s for variant %d: %w", g.GID.Decimal(), i, err)
+			}
+			groups[j] = g
+			groups[j].GID = gid
+		}
+		if err := world.FS.WriteFile(UnsharedPath("/etc/passwd", i), vos.FormatPasswd(users), 0644, root); err != nil {
+			return fmt.Errorf("write variant %d passwd: %w", i, err)
+		}
+		if err := world.FS.WriteFile(UnsharedPath("/etc/group", i), vos.FormatGroup(groups), 0644, root); err != nil {
+			return fmt.Errorf("write variant %d group: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package reexpress
+
+import "nvariant/internal/word"
+
+// TargetType names the data type a variation diversifies (Table 1,
+// "Target Type" column).
+type TargetType int
+
+// Target types from Table 1.
+const (
+	TargetAddress TargetType = iota + 1
+	TargetInstruction
+	TargetUID
+)
+
+// String renders the target type as in Table 1.
+func (t TargetType) String() string {
+	switch t {
+	case TargetAddress:
+		return "Address"
+	case TargetInstruction:
+		return "Instruction"
+	case TargetUID:
+		return "UID"
+	default:
+		return "Unknown"
+	}
+}
+
+// Variation is one row of Table 1: a named diversity technique with
+// its per-variant reexpression functions.
+type Variation struct {
+	// Name is the variation's name as given in Table 1.
+	Name string
+	// Source cites where the variation was introduced.
+	Source string
+	// Target is the diversified data type.
+	Target TargetType
+	// Pair holds R₀ and R₁.
+	Pair Pair
+}
+
+// Catalogue option values for ExtendedPartitioning.
+const (
+	// DefaultExtendedOffset is the extra offset used by the extended
+	// address-space partitioning row of Table 1 in this reproduction.
+	// Bruschi et al. leave the offset as a deployment parameter; any
+	// nonzero value below 2³¹ preserves the detection argument.
+	DefaultExtendedOffset = word.Word(0x00010000)
+)
+
+// AddressPartitioning returns the two-variant address-space
+// partitioning variation of Table 1 row 1: R₀(a) = a,
+// R₁(a) = a + 0x80000000.
+func AddressPartitioning() Variation {
+	return Variation{
+		Name:   "Address Space Partitioning",
+		Source: "[16]",
+		Target: TargetAddress,
+		Pair: Pair{
+			R0: AddOffset{Offset: 0, Partition: true},
+			R1: AddOffset{Offset: word.HighBit, Partition: true},
+		},
+	}
+}
+
+// ExtendedPartitioning returns Table 1 row 2 (Bruschi et al. [9]):
+// R₁(a) = a + 0x80000000 + offset, which additionally misaligns the
+// partitions so byte-level partial overwrites of addresses also
+// diverge (probabilistically).
+func ExtendedPartitioning(offset word.Word) Variation {
+	return Variation{
+		Name:   "Extended Address Space Partitioning",
+		Source: "[9]",
+		Target: TargetAddress,
+		Pair: Pair{
+			R0: AddOffset{Offset: 0, Partition: true},
+			R1: AddOffset{Offset: word.HighBit + offset, Partition: true},
+		},
+	}
+}
+
+// InstructionTagging returns Table 1 row 3: R₀(inst) = 0 || inst,
+// R₁(inst) = 1 || inst.
+func InstructionTagging() Variation {
+	return Variation{
+		Name:   "Instruction Set Tagging",
+		Source: "[16]",
+		Target: TargetInstruction,
+		Pair: Pair{
+			R0: TagBit{Tag: false},
+			R1: TagBit{Tag: true},
+		},
+	}
+}
+
+// UIDVariation returns Table 1 row 4, the paper's contribution:
+// R₀(u) = u, R₁(u) = u ⊕ 0x7FFFFFFF. Under R₁, root (UID 0) is
+// represented as 0x7FFFFFFF.
+func UIDVariation() Variation {
+	return Variation{
+		Name:   "UID Variation",
+		Source: "this paper",
+		Target: TargetUID,
+		Pair: Pair{
+			R0: Identity{},
+			R1: XORMask{Mask: UIDMask},
+		},
+	}
+}
+
+// UIDFullFlipVariation is the "ideal" UID variation the paper could
+// not deploy (§3.2): R₁(u) = u ⊕ 0xFFFFFFFF flips every bit including
+// the sign bit, closing the high-bit-overwrite gap at the cost of
+// breaking the kernel's negative-UID special cases. It is included for
+// the overwrite-campaign ablation.
+func UIDFullFlipVariation() Variation {
+	return Variation{
+		Name:   "UID Variation (full flip)",
+		Source: "§3.2 ablation",
+		Target: TargetUID,
+		Pair: Pair{
+			R0: Identity{},
+			R1: XORMask{Mask: FullFlipMask},
+		},
+	}
+}
+
+// Table1 returns the four variations of Table 1 in paper order.
+func Table1() []Variation {
+	return []Variation{
+		AddressPartitioning(),
+		ExtendedPartitioning(DefaultExtendedOffset),
+		InstructionTagging(),
+		UIDVariation(),
+	}
+}

@@ -1,0 +1,165 @@
+package reexpress
+
+import (
+	"fmt"
+
+	"nvariant/internal/word"
+)
+
+// Identity is the identity reexpression function, used as R₀ in every
+// variation in the paper (Table 1): variant 0 always runs on the
+// original data representation.
+type Identity struct{}
+
+var _ Func = Identity{}
+
+// Name implements Func.
+func (Identity) Name() string { return "identity" }
+
+// Apply implements Func: R₀(x) = x.
+func (Identity) Apply(x word.Word) (word.Word, error) { return x, nil }
+
+// Invert implements Func: R⁻¹₀(y) = y.
+func (Identity) Invert(y word.Word) (word.Word, error) { return y, nil }
+
+// Domain implements Func; the identity function is total.
+func (Identity) Domain(word.Word) bool { return true }
+
+// XORMask reexpresses a value by XORing it with a fixed mask. The UID
+// variation (§3.2) uses mask 0x7FFFFFFF, chosen over 0xFFFFFFFF
+// because the kernel treats negative UIDs as special cases, so the
+// sign bit must survive. XOR is an involution, so Apply and Invert
+// coincide and the inverse property is immediate.
+type XORMask struct {
+	// Mask is XORed into the value by both Apply and Invert.
+	Mask word.Word
+}
+
+var _ Func = XORMask{}
+
+// Name implements Func.
+func (f XORMask) Name() string { return fmt.Sprintf("xor(%s)", f.Mask) }
+
+// Apply implements Func: R(x) = x ⊕ Mask.
+func (f XORMask) Apply(x word.Word) (word.Word, error) { return x ^ f.Mask, nil }
+
+// Invert implements Func: R⁻¹(y) = y ⊕ Mask.
+func (f XORMask) Invert(y word.Word) (word.Word, error) { return y ^ f.Mask, nil }
+
+// Domain implements Func; XOR masking is total.
+func (f XORMask) Domain(word.Word) bool { return true }
+
+// UIDMask is the mask used by the paper's UID variation: all bits
+// except the high (sign) bit are flipped, so the representation
+// survives the kernel's special-casing of negative UID values. The
+// cost of preserving the sign bit is the paper's acknowledged residual
+// weakness: a *high-bit-only* overwrite changes both variants' UIDs
+// identically and is not detected (§3.2).
+const UIDMask = word.Word(0x7FFFFFFF)
+
+// FullFlipMask flips every bit (the "ideal" mask the paper could not
+// deploy, §3.2). It closes the high-bit gap; the overwrite-campaign
+// experiment contrasts it with UIDMask.
+const FullFlipMask = word.Max
+
+// AddOffset reexpresses an address by adding a fixed offset, wrapping
+// modulo 2³². Address-space partitioning (Table 1, [16]) uses offset
+// 0x80000000: variant 0's addresses live in [0, 2³¹), variant 1's in
+// [2³¹, 2³²). Partition enforces domain/invert validity: a concrete
+// address whose partition bit does not match the variant is *invalid*
+// and inverting it faults, modelling the segmentation fault that the
+// monitor observes in the real system.
+type AddOffset struct {
+	// Offset is added by Apply and subtracted by Invert.
+	Offset word.Word
+	// Partition, when true, restricts the domain to the low half of
+	// the address space and makes Invert fault on addresses outside
+	// [Offset, Offset+2³¹).
+	Partition bool
+}
+
+var _ Func = AddOffset{}
+
+// Name implements Func.
+func (f AddOffset) Name() string {
+	if f.Partition {
+		return fmt.Sprintf("addoffset(%s,partitioned)", f.Offset)
+	}
+	return fmt.Sprintf("addoffset(%s)", f.Offset)
+}
+
+// Apply implements Func: R(a) = a + Offset (mod 2³²).
+func (f AddOffset) Apply(x word.Word) (word.Word, error) {
+	if !f.Domain(x) {
+		return 0, fmt.Errorf("apply %s to %s: %w", f.Name(), x, ErrOutOfDomain)
+	}
+	return x + f.Offset, nil
+}
+
+// Invert implements Func: R⁻¹(a) = a − Offset, faulting when the
+// address is outside this variant's partition.
+func (f AddOffset) Invert(y word.Word) (word.Word, error) {
+	if f.Partition {
+		inv := y - f.Offset
+		if inv&word.HighBit != 0 {
+			return 0, fmt.Errorf("invert %s on %s: segmentation fault: %w", f.Name(), y, ErrOutOfDomain)
+		}
+		return inv, nil
+	}
+	return y - f.Offset, nil
+}
+
+// Domain implements Func: with partitioning, canonical addresses
+// occupy the low half of the address space.
+func (f AddOffset) Domain(x word.Word) bool {
+	if f.Partition {
+		return x&word.HighBit == 0
+	}
+	return true
+}
+
+// TagBit reexpresses an instruction word by placing a one-bit tag in
+// the high bit (instruction-set tagging, Table 1, [16]): R₀ tags with
+// 0, R₁ tags with 1, and the execution monitor checks and strips the
+// tag before execution. Canonical instruction words must therefore fit
+// in 31 bits. An instruction with the wrong tag is invalid — Invert
+// faults, which is exactly how injected untagged code is detected.
+type TagBit struct {
+	// Tag is the bit value (false = 0, true = 1) this variant expects
+	// in the high bit of every instruction word.
+	Tag bool
+}
+
+var _ Func = TagBit{}
+
+// Name implements Func.
+func (f TagBit) Name() string {
+	if f.Tag {
+		return "tag(1||inst)"
+	}
+	return "tag(0||inst)"
+}
+
+// Apply implements Func: R(inst) = tag || inst.
+func (f TagBit) Apply(x word.Word) (word.Word, error) {
+	if !f.Domain(x) {
+		return 0, fmt.Errorf("apply %s to %s: %w", f.Name(), x, ErrOutOfDomain)
+	}
+	if f.Tag {
+		return x | word.HighBit, nil
+	}
+	return x, nil
+}
+
+// Invert implements Func: checks the tag, faults on mismatch, and
+// strips the tag bit.
+func (f TagBit) Invert(y word.Word) (word.Word, error) {
+	tagged := y&word.HighBit != 0
+	if tagged != f.Tag {
+		return 0, fmt.Errorf("invert %s on %s: illegal instruction tag: %w", f.Name(), y, ErrOutOfDomain)
+	}
+	return y &^ word.HighBit, nil
+}
+
+// Domain implements Func: canonical instructions occupy 31 bits.
+func (f TagBit) Domain(x word.Word) bool { return x&word.HighBit == 0 }

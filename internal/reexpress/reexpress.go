@@ -1,0 +1,85 @@
+// Package reexpress implements the data reexpression framework of
+// Section 2 of the paper.
+//
+// A reexpression function R_i maps trusted data of a target type into
+// the representation used by variant i; the inverse function R⁻¹_i is
+// applied immediately before the target interpreter. Two properties
+// drive the security argument:
+//
+//   - inverse property (§2.2):  ∀x in the domain, R⁻¹_i(R_i(x)) ≡ x
+//   - disjointness property (§2.3):  ∀x, R⁻¹₀(x) ≠ R⁻¹₁(x)
+//
+// Disjointness is what turns redundancy into detection: the attacker
+// is constrained to send the *same* concrete value to every variant,
+// and disjoint inverses guarantee those identical values cannot decode
+// to the same meaning in two variants. Inversion may also *fail* — a
+// concrete value can simply be invalid for a variant (an address
+// outside the variant's partition, an instruction with the wrong tag);
+// a failed inversion is itself a detectable alarm state, so the
+// disjointness property is satisfied if identical inputs never invert
+// successfully to identical values in two variants.
+package reexpress
+
+import (
+	"errors"
+	"fmt"
+
+	"nvariant/internal/word"
+)
+
+// ErrOutOfDomain is returned by Apply when a value is outside the
+// function's domain, and by Invert when a concrete value is not a
+// valid reexpressed value for this variant. An Invert failure is an
+// alarm state: under the N-variant monitor it is treated exactly like
+// a segmentation fault in the address-partitioning variation.
+var ErrOutOfDomain = errors.New("reexpress: value out of domain")
+
+// Func is a data reexpression function R together with its inverse.
+//
+// Implementations must guarantee the inverse property over Domain:
+// if Domain(x) then Invert(Apply(x)) == x with no error.
+type Func interface {
+	// Name identifies the function in tables and alarm reports.
+	Name() string
+	// Apply computes R(x), the representation of trusted value x in
+	// this variant. It fails with ErrOutOfDomain if x is not in the
+	// function's domain.
+	Apply(x word.Word) (word.Word, error)
+	// Invert computes R⁻¹(y). It fails with ErrOutOfDomain if y is not
+	// a valid reexpressed value for this variant; such a failure is an
+	// alarm state, not a silent fallback.
+	Invert(y word.Word) (word.Word, error)
+	// Domain reports whether x is a legal input to Apply.
+	Domain(x word.Word) bool
+}
+
+// Pair is the two-variant configuration used throughout the paper: one
+// reexpression function per variant.
+type Pair struct {
+	// R0 is variant 0's reexpression function (identity in every
+	// variation the paper builds).
+	R0 Func
+	// R1 is variant 1's reexpression function.
+	R1 Func
+}
+
+// Funcs returns the pair as a slice indexed by variant number.
+func (p Pair) Funcs() []Func {
+	return []Func{p.R0, p.R1}
+}
+
+// DivergenceError reports a detected violation of the disjointness
+// property: the same concrete value decoded to the same meaning (or
+// the monitor observed differing canonical values where equal ones
+// were required).
+type DivergenceError struct {
+	// Value is the concrete value that was observed.
+	Value word.Word
+	// Detail describes the check that failed.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("reexpress: divergence on %s: %s", e.Value, e.Detail)
+}

@@ -1,0 +1,218 @@
+// Package simnet provides the in-process network the N-variant server
+// and its clients communicate over.
+//
+// In the paper's testbed, WebBench clients talk to the server across a
+// switched LAN; the unsaturated results are I/O-bound because of that
+// wire. simnet reproduces the shape with a message-oriented connection
+// abstraction and a configurable one-way latency. The monitor kernel
+// performs network input syscalls once and replicates the received
+// bytes to every variant, so clients are oblivious to how many
+// variants serve them — exactly the paper's architecture (Figure 1).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors returned by network operations.
+var (
+	// ErrClosed is returned when the endpoint has been closed.
+	ErrClosed = errors.New("simnet: endpoint closed")
+	// ErrRefused is returned by Dial when nothing listens on the port.
+	ErrRefused = errors.New("simnet: connection refused")
+	// ErrInUse is returned by Listen when the port is taken.
+	ErrInUse = errors.New("simnet: address in use")
+)
+
+const backlog = 256
+
+// Network is an in-process switched network. The zero value is not
+// usable; construct with New.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[uint16]*Listener
+	latency   time.Duration
+	sleep     func(time.Duration)
+}
+
+// New creates a network whose messages take latency to cross the wire
+// in each direction.
+func New(latency time.Duration) *Network {
+	return &Network{
+		listeners: make(map[uint16]*Listener),
+		latency:   latency,
+		sleep:     time.Sleep,
+	}
+}
+
+// Latency returns the configured one-way latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// Listen opens a listening socket on port.
+func (n *Network) Listen(port uint16) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.listeners[port]; taken {
+		return nil, fmt.Errorf("listen %d: %w", port, ErrInUse)
+	}
+	l := &Listener{
+		net:    n,
+		port:   port,
+		accept: make(chan *Conn, backlog),
+		closed: make(chan struct{}),
+	}
+	n.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects to the listener on port, returning the client side of
+// the connection.
+func (n *Network) Dial(port uint16) (*Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[port]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dial %d: %w", port, ErrRefused)
+	}
+	client, server := newPair(n)
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("dial %d: %w", port, ErrRefused)
+	}
+}
+
+// ShutdownPort closes the listener on port from outside the serving
+// process — the harness's way of stopping an N-variant server whose
+// monitor may be blocked in accept (the paper's launcher kills the
+// group; closing the port gives us an orderly equivalent).
+func (n *Network) ShutdownPort(port uint16) error {
+	n.mu.Lock()
+	l, ok := n.listeners[port]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("shutdown %d: %w", port, ErrRefused)
+	}
+	return l.Close()
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	net       *Network
+	port      uint16
+	accept    chan *Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accept blocks until a connection arrives or the listener is closed.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		// Drain any connection racing with close.
+		select {
+		case c := <-l.accept:
+			return c, nil
+		default:
+			return nil, fmt.Errorf("accept %d: %w", l.port, ErrClosed)
+		}
+	}
+}
+
+// Close releases the port and unblocks pending Accept calls.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.port)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// message is one unit in flight.
+type message struct {
+	data    []byte
+	readyAt time.Time
+}
+
+// Conn is one endpoint of a bidirectional message connection.
+type Conn struct {
+	net       *Network
+	in        chan message
+	peer      *Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newPair(n *Network) (a, b *Conn) {
+	a = &Conn{net: n, in: make(chan message, backlog), closed: make(chan struct{})}
+	b = &Conn{net: n, in: make(chan message, backlog), closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send transmits data to the peer. The data is copied, so the caller
+// may reuse the buffer.
+func (c *Conn) Send(data []byte) error {
+	select {
+	case <-c.closed:
+		return fmt.Errorf("send: %w", ErrClosed)
+	case <-c.peer.closed:
+		return fmt.Errorf("send: peer: %w", ErrClosed)
+	default:
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := message{data: buf, readyAt: time.Now().Add(c.net.latency)}
+	select {
+	case c.peer.in <- msg:
+		return nil
+	case <-c.peer.closed:
+		return fmt.Errorf("send: peer: %w", ErrClosed)
+	}
+}
+
+// Recv blocks for the next message. It returns (nil, nil) on orderly
+// peer close (end of stream), mirroring a zero-byte read.
+func (c *Conn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.in:
+		c.waitWire(msg)
+		return msg.data, nil
+	case <-c.closed:
+		return nil, fmt.Errorf("recv: %w", ErrClosed)
+	case <-c.peer.closed:
+		// The peer may have sent messages before closing; drain first.
+		select {
+		case msg := <-c.in:
+			c.waitWire(msg)
+			return msg.data, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// waitWire blocks until the message has "crossed the wire".
+func (c *Conn) waitWire(msg message) {
+	if d := time.Until(msg.readyAt); d > 0 {
+		c.net.sleep(d)
+	}
+}
+
+// Close shuts the endpoint down. Peer reads observe end of stream
+// after draining in-flight messages.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}

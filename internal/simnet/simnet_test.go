@@ -1,0 +1,281 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestListenDialRoundTrip(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		msg, err := server.Recv()
+		if err != nil {
+			t.Errorf("server Recv: %v", err)
+			return
+		}
+		if err := server.Send(append([]byte("echo:"), msg...)); err != nil {
+			t.Errorf("server Send: %v", err)
+		}
+		_ = server.Close()
+	}()
+
+	client, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Errorf("reply = %q", reply)
+	}
+	_ = client.Close()
+	wg.Wait()
+}
+
+func TestDialRefused(t *testing.T) {
+	n := New(0)
+	if _, err := n.Dial(9999); !errors.Is(err, ErrRefused) {
+		t.Errorf("Dial = %v, want ErrRefused", err)
+	}
+}
+
+func TestListenInUse(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if _, err := n.Listen(80); !errors.Is(err, ErrInUse) {
+		t.Errorf("second Listen = %v, want ErrInUse", err)
+	}
+}
+
+func TestListenerCloseReleasesPort(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := n.Listen(80)
+	if err != nil {
+		t.Errorf("Listen after Close: %v", err)
+	} else {
+		_ = l2.Close()
+	}
+}
+
+func TestAcceptUnblocksOnClose(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Accept after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+}
+
+func TestRecvEOFOnPeerClose(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = s.Send([]byte("last"))
+		_ = s.Close()
+	}()
+	c, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First Recv drains the in-flight message.
+	msg, err := c.Recv()
+	if err != nil || string(msg) != "last" {
+		t.Fatalf("Recv = (%q, %v)", msg, err)
+	}
+	// Second Recv observes end of stream: (nil, nil).
+	msg, err = c.Recv()
+	if err != nil || msg != nil {
+		t.Errorf("Recv after peer close = (%v, %v), want (nil, nil)", msg, err)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		s, err := l.Accept()
+		if err == nil {
+			_ = s.Close()
+		}
+	}()
+	c, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	recvd := make(chan []byte, 1)
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m, _ := s.Recv()
+		recvd <- m
+	}()
+	c, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	if err := c.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBERED")
+	got := <-recvd
+	if string(got) != "original" {
+		t.Errorf("received %q; Send must copy", got)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	n := New(lat)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = s.Send([]byte("pong"))
+	}()
+	c, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Errorf("Recv returned after %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	const clients = 32
+	var serverWG sync.WaitGroup
+	serverWG.Add(1)
+	go func() {
+		defer serverWG.Done()
+		for i := 0; i < clients; i++ {
+			s, err := l.Accept()
+			if err != nil {
+				t.Errorf("Accept: %v", err)
+				return
+			}
+			go func() {
+				m, err := s.Recv()
+				if err == nil {
+					_ = s.Send(m)
+				}
+				_ = s.Close()
+			}()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := n.Dial(80)
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer func() { _ = c.Close() }()
+			payload := []byte{byte(i)}
+			if err := c.Send(payload); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+			got, err := c.Recv()
+			if err != nil || len(got) != 1 || got[0] != byte(i) {
+				t.Errorf("client %d Recv = (%v, %v)", i, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	serverWG.Wait()
+}

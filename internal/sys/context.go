@@ -1,0 +1,329 @@
+package sys
+
+import (
+	"errors"
+	"fmt"
+
+	"nvariant/internal/vmem"
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+// ErrKilled is returned by syscall wrappers after the monitor has
+// raised an alarm and terminated the variant group. Programs must
+// propagate it so the variant unwinds promptly.
+var ErrKilled = errors.New("sys: variant killed by monitor")
+
+// Invoker executes one system call on behalf of a variant. The monitor
+// kernel provides the implementation; programs never construct one.
+type Invoker func(Call) Reply
+
+// Program is the code executed identically (modulo data reexpression
+// applied at build time) by every variant.
+type Program interface {
+	// Name identifies the program in alarm reports and logs.
+	Name() string
+	// Run executes the program against the syscall context. A non-nil
+	// return that is not ErrKilled is treated by the monitor as a
+	// variant fault (the analogue of a crash), which itself raises an
+	// alarm if other variants are still healthy.
+	Run(ctx *Context) error
+}
+
+// Context is the per-variant execution environment: the variant's
+// simulated memory plus the syscall interface. It mirrors the libc
+// layer of the paper's variants.
+type Context struct {
+	// Variant is this variant's index (0-based).
+	Variant int
+	// NumVariants is the group size (1 when running plain).
+	NumVariants int
+	// Mem is this variant's simulated address space.
+	Mem *vmem.Space
+
+	invoke  Invoker
+	exited  bool
+	scratch vmem.Addr
+	scrCap  uint32
+}
+
+// NewContext builds a context. It is exported for the kernel and for
+// tests; programs receive a ready Context.
+func NewContext(variant, numVariants int, mem *vmem.Space, invoke Invoker) *Context {
+	return &Context{Variant: variant, NumVariants: numVariants, Mem: mem, invoke: invoke}
+}
+
+// Exited reports whether the program has issued Exit.
+func (c *Context) Exited() bool { return c.exited }
+
+// Syscall issues a raw system call.
+func (c *Context) Syscall(call Call) (word.Word, error) {
+	r := c.invoke(call)
+	switch {
+	case r.Killed:
+		return r.Val, fmt.Errorf("%s: %w", call.Num, ErrKilled)
+	case r.Errno != nil:
+		return r.Val, fmt.Errorf("%s: %w", call.Num, r.Errno)
+	default:
+		return r.Val, nil
+	}
+}
+
+// scratchBuf returns a reusable scratch region of at least n bytes in
+// variant memory, used by the string convenience wrappers.
+func (c *Context) scratchBuf(n uint32) (vmem.Addr, error) {
+	if n == 0 {
+		n = 1
+	}
+	if c.scrCap < n {
+		size := uint32(4096)
+		for size < n {
+			size *= 2
+		}
+		addr, err := c.Mem.Alloc(size)
+		if err != nil {
+			return 0, fmt.Errorf("scratch: %w", err)
+		}
+		c.scratch, c.scrCap = addr, size
+	}
+	return c.scratch, nil
+}
+
+// Exit terminates the variant group with the given status.
+func (c *Context) Exit(status word.Word) error {
+	if c.exited {
+		return nil
+	}
+	_, err := c.Syscall(Call{Num: Exit, Args: []word.Word{status}})
+	c.exited = true
+	return err
+}
+
+// Open opens path with the given flags, returning a file descriptor.
+func (c *Context) Open(path string, flags vos.OpenFlag, perm vos.Mode) (int, error) {
+	v, err := c.Syscall(Call{
+		Num:  Open,
+		Args: []word.Word{word.Word(flags), word.Word(perm)},
+		Data: []byte(path),
+	})
+	return int(v), err
+}
+
+// Close closes a file descriptor.
+func (c *Context) Close(fd int) error {
+	_, err := c.Syscall(Call{Num: CloseFD, Args: []word.Word{word.Word(fd)}})
+	return err
+}
+
+// ReadMem reads up to n bytes from fd into variant memory at addr.
+func (c *Context) ReadMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
+	v, err := c.Syscall(Call{Num: Read, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	return uint32(v), err
+}
+
+// WriteMem writes n bytes from variant memory at addr to fd.
+func (c *Context) WriteMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
+	v, err := c.Syscall(Call{Num: Write, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	return uint32(v), err
+}
+
+// ReadAll reads fd to end of file and returns the contents as Go
+// bytes (copied out of variant memory).
+func (c *Context) ReadAll(fd int) ([]byte, error) {
+	const chunk = 4096
+	addr, err := c.scratchBuf(chunk)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for {
+		n, err := c.ReadMem(fd, addr, chunk)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		b, err := c.Mem.ReadBytes(addr, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+}
+
+// WriteString writes s to fd via a scratch buffer in variant memory.
+func (c *Context) WriteString(fd int, s string) error {
+	addr, err := c.scratchBuf(uint32(len(s)))
+	if err != nil {
+		return err
+	}
+	if err := c.Mem.WriteBytes(addr, []byte(s)); err != nil {
+		return err
+	}
+	_, err = c.WriteMem(fd, addr, uint32(len(s)))
+	return err
+}
+
+// Stat returns the size of the file at path. (File ownership is
+// enforced by the kernel at open time; programs never need to read
+// UIDs out of inodes, which keeps the UID target interface confined
+// to the credential syscalls as in the paper.)
+func (c *Context) Stat(path string) (uint32, error) {
+	v, err := c.Syscall(Call{Num: Stat, Data: []byte(path)})
+	return uint32(v), err
+}
+
+// Getuid returns the real UID in this variant's representation.
+func (c *Context) Getuid() (vos.UID, error) {
+	return c.Syscall(Call{Num: Getuid})
+}
+
+// Geteuid returns the effective UID in this variant's representation.
+func (c *Context) Geteuid() (vos.UID, error) {
+	return c.Syscall(Call{Num: Geteuid})
+}
+
+// Getgid returns the real GID in this variant's representation.
+func (c *Context) Getgid() (vos.GID, error) {
+	return c.Syscall(Call{Num: Getgid})
+}
+
+// Getegid returns the effective GID in this variant's representation.
+func (c *Context) Getegid() (vos.GID, error) {
+	return c.Syscall(Call{Num: Getegid})
+}
+
+// Setuid sets the process UID; u is in this variant's representation.
+func (c *Context) Setuid(u vos.UID) error {
+	_, err := c.Syscall(Call{Num: Setuid, Args: []word.Word{u}})
+	return err
+}
+
+// Seteuid sets the effective UID.
+func (c *Context) Seteuid(u vos.UID) error {
+	_, err := c.Syscall(Call{Num: Seteuid, Args: []word.Word{u}})
+	return err
+}
+
+// Setreuid sets real and effective UIDs (NoChange semantics apply to
+// the canonical values).
+func (c *Context) Setreuid(ruid, euid vos.UID) error {
+	_, err := c.Syscall(Call{Num: Setreuid, Args: []word.Word{ruid, euid}})
+	return err
+}
+
+// Setgid sets the process GID.
+func (c *Context) Setgid(g vos.GID) error {
+	_, err := c.Syscall(Call{Num: Setgid, Args: []word.Word{g}})
+	return err
+}
+
+// Setegid sets the effective GID.
+func (c *Context) Setegid(g vos.GID) error {
+	_, err := c.Syscall(Call{Num: Setegid, Args: []word.Word{g}})
+	return err
+}
+
+// Listen binds a listening socket on port.
+func (c *Context) Listen(port uint16) (int, error) {
+	v, err := c.Syscall(Call{Num: Listen, Args: []word.Word{word.Word(port)}})
+	return int(v), err
+}
+
+// Accept waits for a connection on listener fd lfd.
+func (c *Context) Accept(lfd int) (int, error) {
+	v, err := c.Syscall(Call{Num: Accept, Args: []word.Word{word.Word(lfd)}})
+	return int(v), err
+}
+
+// RecvMem receives one message into variant memory at addr (capacity
+// n). It returns the message length; 0 means end of stream.
+func (c *Context) RecvMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
+	v, err := c.Syscall(Call{Num: Recv, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	return uint32(v), err
+}
+
+// SendMem transmits n bytes of variant memory at addr on fd.
+func (c *Context) SendMem(fd int, addr vmem.Addr, n uint32) error {
+	_, err := c.Syscall(Call{Num: Send, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	return err
+}
+
+// SendString transmits s on fd via the scratch buffer.
+func (c *Context) SendString(fd int, s string) error {
+	addr, err := c.scratchBuf(uint32(len(s)))
+	if err != nil {
+		return err
+	}
+	if err := c.Mem.WriteBytes(addr, []byte(s)); err != nil {
+		return err
+	}
+	return c.SendMem(fd, addr, uint32(len(s)))
+}
+
+// Time returns the kernel's virtual timestamp (identical across
+// variants).
+func (c *Context) Time() (word.Word, error) {
+	return c.Syscall(Call{Num: Time})
+}
+
+// UIDValue exposes a single UID value to the monitor (Table 2):
+// the kernel checks cross-variant equivalence and returns the value
+// unchanged.
+func (c *Context) UIDValue(u vos.UID) (vos.UID, error) {
+	return c.Syscall(Call{Num: UIDValue, Args: []word.Word{u}})
+}
+
+// CondChk exposes a UID-influenced condition value to the monitor
+// (Table 2) and returns it.
+func (c *Context) CondChk(b bool) (bool, error) {
+	v, err := c.Syscall(Call{Num: CondChk, Args: []word.Word{boolWord(b)}})
+	return v != 0, err
+}
+
+// CCEq compares two UIDs for equality under monitor supervision.
+func (c *Context) CCEq(a, b vos.UID) (bool, error) { return c.cc(CCEq, a, b) }
+
+// CCNeq compares two UIDs for inequality under monitor supervision.
+func (c *Context) CCNeq(a, b vos.UID) (bool, error) { return c.cc(CCNeq, a, b) }
+
+// CCLt compares a < b under monitor supervision.
+func (c *Context) CCLt(a, b vos.UID) (bool, error) { return c.cc(CCLt, a, b) }
+
+// CCLeq compares a ≤ b under monitor supervision.
+func (c *Context) CCLeq(a, b vos.UID) (bool, error) { return c.cc(CCLeq, a, b) }
+
+// CCGt compares a > b under monitor supervision.
+func (c *Context) CCGt(a, b vos.UID) (bool, error) { return c.cc(CCGt, a, b) }
+
+// CCGeq compares a ≥ b under monitor supervision.
+func (c *Context) CCGeq(a, b vos.UID) (bool, error) { return c.cc(CCGeq, a, b) }
+
+func (c *Context) cc(num Num, a, b vos.UID) (bool, error) {
+	v, err := c.Syscall(Call{Num: num, Args: []word.Word{a, b}})
+	return v != 0, err
+}
+
+func boolWord(b bool) word.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc struct {
+	// ProgName is returned by Name.
+	ProgName string
+	// Fn is the program body.
+	Fn func(ctx *Context) error
+}
+
+var _ Program = ProgramFunc{}
+
+// Name implements Program.
+func (p ProgramFunc) Name() string { return p.ProgName }
+
+// Run implements Program.
+func (p ProgramFunc) Run(ctx *Context) error { return p.Fn(ctx) }

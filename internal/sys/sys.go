@@ -1,0 +1,218 @@
+// Package sys defines the system-call ABI between variant programs and
+// the monitor kernel.
+//
+// System calls are the paper's synchronization and monitoring points
+// (§3.1): once one variant makes a system call, it does not proceed
+// until all variants make the same call; the wrappers check argument
+// equivalence, perform input operations once (replicating results),
+// and perform output operations once (after cross-checking payloads).
+// This package also defines the detection system calls of Table 2
+// (uid_value, cond_chk, cc_eq … cc_geq) that transformed programs use
+// to expose UID uses to the monitor at the point of use.
+package sys
+
+import (
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+// Num identifies a system call.
+type Num int
+
+// System call numbers.
+const (
+	// Exit terminates the variant group. Args: status.
+	Exit Num = iota + 1
+	// Open opens a file. Data: path. Args: flags, perm. Returns fd.
+	Open
+	// CloseFD closes a descriptor. Args: fd.
+	CloseFD
+	// Read reads from a file descriptor into variant memory.
+	// Args: fd, addr, len. Returns bytes read. Input class.
+	Read
+	// Write writes from variant memory to a descriptor.
+	// Args: fd, addr, len. Returns bytes written. Output class.
+	Write
+	// Stat returns file metadata. Data: path. Returns size; the UID
+	// owner is returned reexpressed per variant.
+	Stat
+	// Getuid/Geteuid/Getgid/Getegid return (reexpressed) credentials.
+	Getuid
+	Geteuid
+	Getgid
+	Getegid
+	// Setuid and friends change credentials. UID-typed args.
+	Setuid
+	Seteuid
+	Setreuid
+	Setgid
+	Setegid
+	// Listen binds a listening socket. Args: port. Returns fd.
+	Listen
+	// Accept accepts a connection. Args: listener fd. Returns conn fd.
+	Accept
+	// Recv receives one message into variant memory. Args: fd, addr,
+	// cap. Returns length (0 on end of stream). Input class.
+	Recv
+	// Send transmits variant memory. Args: fd, addr, len. Output class.
+	Send
+	// Time returns a deterministic, monotonically increasing virtual
+	// timestamp — performed once, same value to all variants.
+	Time
+
+	// UIDValue is Table 2's uid_value(uid_t): the kernel checks that
+	// the per-variant arguments are equivalent after inverse
+	// reexpression and returns the passed value unchanged.
+	UIDValue
+	// CondChk is Table 2's cond_chk(bool): checks the condition value
+	// is identical across variants and returns it.
+	CondChk
+	// CCEq … CCGeq are Table 2's two-argument UID comparisons: the
+	// kernel checks equivalence of both UID args across variants, then
+	// returns the truth value of the comparison computed on canonical
+	// (inverse-reexpressed) values — so the variants' instruction
+	// streams stay identical and no operator reversal is needed (§3.5).
+	CCEq
+	CCNeq
+	CCLt
+	CCLeq
+	CCGt
+	CCGeq
+)
+
+// String names the syscall as in the paper.
+func (n Num) String() string {
+	if s, ok := specs[n]; ok {
+		return s.Name
+	}
+	return "unknown"
+}
+
+// Class partitions syscalls by how the monitor executes them (§3.1).
+type Class int
+
+// Syscall classes.
+const (
+	// ClassInput syscalls are performed once; the result is replicated
+	// to all variants.
+	ClassInput Class = iota + 1
+	// ClassOutput syscalls are checked for payload equivalence and
+	// performed once.
+	ClassOutput
+	// ClassState syscalls mutate shared kernel state (credentials,
+	// file tables) after argument equivalence checks.
+	ClassState
+	// ClassDetect syscalls exist purely to expose data to the monitor
+	// (Table 2).
+	ClassDetect
+	// ClassExit terminates the group.
+	ClassExit
+)
+
+// ArgKind describes how the monitor canonicalizes one argument before
+// comparing it across variants.
+type ArgKind int
+
+// Argument kinds.
+const (
+	// ArgPlain arguments must be bit-identical across variants.
+	ArgPlain ArgKind = iota + 1
+	// ArgUID arguments are inverse-reexpressed with the variant's UID
+	// function before comparison — the R⁻¹ at the target interpreter.
+	ArgUID
+	// ArgAddr arguments are variant-local addresses; the monitor
+	// canonicalizes them by clearing the partition bit and compares.
+	ArgAddr
+	// ArgBool arguments must be identical truth values.
+	ArgBool
+)
+
+// Spec describes the kernel-visible shape of a syscall.
+type Spec struct {
+	// Name is the syscall's name.
+	Name string
+	// Class selects monitor execution semantics.
+	Class Class
+	// Args gives the canonicalization kind of each argument.
+	Args []ArgKind
+	// ReturnsUID marks calls whose result is a UID that the kernel
+	// reexpresses per variant before returning (getuid & co.).
+	ReturnsUID bool
+	// TakesPath marks calls whose Data payload is a path that must be
+	// identical across variants.
+	TakesPath bool
+}
+
+var specs = map[Num]Spec{
+	Exit:    {Name: "exit", Class: ClassExit, Args: []ArgKind{ArgPlain}},
+	Open:    {Name: "open", Class: ClassState, Args: []ArgKind{ArgPlain, ArgPlain}, TakesPath: true},
+	CloseFD: {Name: "close", Class: ClassState, Args: []ArgKind{ArgPlain}},
+	Read:    {Name: "read", Class: ClassInput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
+	Write:   {Name: "write", Class: ClassOutput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
+	Stat:    {Name: "stat", Class: ClassInput, Args: nil, TakesPath: true},
+
+	Getuid:  {Name: "getuid", Class: ClassInput, ReturnsUID: true},
+	Geteuid: {Name: "geteuid", Class: ClassInput, ReturnsUID: true},
+	Getgid:  {Name: "getgid", Class: ClassInput, ReturnsUID: true},
+	Getegid: {Name: "getegid", Class: ClassInput, ReturnsUID: true},
+
+	Setuid:   {Name: "setuid", Class: ClassState, Args: []ArgKind{ArgUID}},
+	Seteuid:  {Name: "seteuid", Class: ClassState, Args: []ArgKind{ArgUID}},
+	Setreuid: {Name: "setreuid", Class: ClassState, Args: []ArgKind{ArgUID, ArgUID}},
+	Setgid:   {Name: "setgid", Class: ClassState, Args: []ArgKind{ArgUID}},
+	Setegid:  {Name: "setegid", Class: ClassState, Args: []ArgKind{ArgUID}},
+
+	Listen: {Name: "listen", Class: ClassState, Args: []ArgKind{ArgPlain}},
+	Accept: {Name: "accept", Class: ClassInput, Args: []ArgKind{ArgPlain}},
+	Recv:   {Name: "recv", Class: ClassInput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
+	Send:   {Name: "send", Class: ClassOutput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
+	Time:   {Name: "time", Class: ClassInput},
+
+	UIDValue: {Name: "uid_value", Class: ClassDetect, Args: []ArgKind{ArgUID}},
+	CondChk:  {Name: "cond_chk", Class: ClassDetect, Args: []ArgKind{ArgBool}},
+	CCEq:     {Name: "cc_eq", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+	CCNeq:    {Name: "cc_neq", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+	CCLt:     {Name: "cc_lt", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+	CCLeq:    {Name: "cc_leq", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+	CCGt:     {Name: "cc_gt", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+	CCGeq:    {Name: "cc_geq", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
+}
+
+// SpecFor returns the spec for a syscall number.
+func SpecFor(n Num) (Spec, bool) {
+	s, ok := specs[n]
+	return s, ok
+}
+
+// DetectionCalls lists the Table 2 syscalls in paper order.
+func DetectionCalls() []Num {
+	return []Num{UIDValue, CondChk, CCEq, CCNeq, CCLt, CCLeq, CCGt, CCGeq}
+}
+
+// Call is one system call as issued by a variant.
+type Call struct {
+	// Num is the syscall number.
+	Num Num
+	// Args are the word-sized arguments (see Spec.Args for kinds).
+	Args []word.Word
+	// Data carries the path for TakesPath calls.
+	Data []byte
+}
+
+// Reply is the kernel's response to a Call.
+type Reply struct {
+	// Val is the syscall return value.
+	Val word.Word
+	// Errno is the failure code, nil on success.
+	Errno *vos.Errno
+	// Killed reports that the monitor raised an alarm and terminated
+	// the group; the variant must unwind immediately.
+	Killed bool
+}
+
+// Standard file descriptors.
+const (
+	FDStdin  = 0
+	FDStdout = 1
+	FDStderr = 2
+)

@@ -1,0 +1,232 @@
+package transform
+
+// SampleServerSource is the minic port of the case-study server's UID
+// handling (§4): the unixd-style identity management, the suexec-style
+// target-user validation, and the per-request privilege dance of an
+// Apache-like server. It is the subject program for the change-count
+// experiment — the paper reports 73 manual changes on Apache (15
+// constant reexpressions, 16 uid_value insertions, 22 comparison
+// rewrites, 20 cond_chk insertions); running the automated transformer
+// over this program reproduces the same categories at a similar scale.
+const SampleServerSource = `// unixd.c (minic port): identity management for the case-study server.
+
+uid_t server_uid;
+gid_t server_gid;
+uid_t worker_uid;
+gid_t worker_gid;
+uid_t suexec_min_uid = 500;
+gid_t suexec_min_gid = 100;
+int request_count = 0;
+
+// set_user_identity resolves the User directive to a UID.
+int set_user_identity(string name) {
+    bool found;
+    found = getpwnam(name);
+    if (!found) {
+        log("unixd: configured user not found in /etc/passwd");
+        return 1;
+    }
+    server_uid = pw_uid();
+    server_gid = pw_gid();
+    if (server_uid == 0) {
+        log("unixd: refusing to serve as the superuser");
+        return 1;
+    }
+    return 0;
+}
+
+// set_group_identity resolves the Group directive to a GID.
+int set_group_identity(string name) {
+    bool found;
+    found = getgrnam(name);
+    if (!found) {
+        log("unixd: configured group not found in /etc/group");
+        return 1;
+    }
+    server_gid = gr_gid();
+    if (server_gid == 0) {
+        log("unixd: refusing to serve with the superuser group");
+        return 1;
+    }
+    return 0;
+}
+
+// drop_privileges switches the effective identity to the server user.
+int drop_privileges() {
+    int rc;
+    rc = setegid(server_gid);
+    if (rc != 0) {
+        log("unixd: setegid failed");
+        return 1;
+    }
+    rc = seteuid(server_uid);
+    if (rc != 0) {
+        log("unixd: seteuid failed");
+        return 1;
+    }
+    if (geteuid() != server_uid) {
+        log("unixd: privilege drop did not take effect");
+        return 1;
+    }
+    return 0;
+}
+
+// restore_privileges returns to the superuser between requests.
+int restore_privileges() {
+    int rc;
+    rc = seteuid(0);
+    if (rc != 0) {
+        log("unixd: could not restore privileges");
+        return 1;
+    }
+    if (geteuid() != 0) {
+        log("unixd: restore did not take effect");
+        return 1;
+    }
+    return 0;
+}
+
+// is_superuser reports whether a UID is root.
+bool is_superuser(uid_t u) {
+    return u == 0;
+}
+
+// is_system_account reports whether a UID belongs to the static
+// system range that suexec refuses to execute as.
+bool is_system_account(uid_t u) {
+    if (u == 0) {
+        return true;
+    }
+    if (u < 100) {
+        return true;
+    }
+    if (u == 65534) {
+        return true;
+    }
+    return false;
+}
+
+// suexec_check_target validates a CGI target identity against the
+// suexec policy: no superuser, no system accounts, above the floor,
+// and present in the account database.
+int suexec_check_target(uid_t target, gid_t target_group) {
+    bool known;
+    if (is_superuser(target)) {
+        log("suexec: target is the superuser");
+        return 1;
+    }
+    if (is_system_account(target)) {
+        log("suexec: target is a system account");
+        return 1;
+    }
+    if (target < suexec_min_uid) {
+        log("suexec: target below minimum uid");
+        return 1;
+    }
+    if (target_group < suexec_min_gid) {
+        log("suexec: target group below minimum gid");
+        return 1;
+    }
+    known = getpwuid_has(target);
+    if (!known) {
+        log("suexec: target uid has no account");
+        return 1;
+    }
+    return 0;
+}
+
+// become_worker switches the effective identity for one request.
+int become_worker(uid_t u, gid_t g) {
+    int rc;
+    if (u == server_uid) {
+        rc = seteuid(u);
+        if (rc != 0) {
+            log("unixd: worker seteuid failed");
+            return 1;
+        }
+        return 0;
+    }
+    rc = suexec_check_target(u, g);
+    if (rc != 0) {
+        log_uid("unixd: rejected worker identity", u);
+        return 1;
+    }
+    rc = setegid(g);
+    if (rc != 0) {
+        return 1;
+    }
+    rc = seteuid(u);
+    if (rc != 0) {
+        return 1;
+    }
+    return 0;
+}
+
+// handle_request performs the per-request privilege dance.
+int handle_request() {
+    int rc;
+    request_count = request_count + 1;
+    rc = become_worker(worker_uid, worker_gid);
+    if (rc != 0) {
+        return 1;
+    }
+    if (geteuid() == 0) {
+        log("unixd: serving as superuser, aborting request");
+        restore_privileges();
+        return 1;
+    }
+    rc = restore_privileges();
+    if (rc != 0) {
+        return 1;
+    }
+    return 0;
+}
+
+int main() {
+    int rc;
+    int served;
+    uid_t boot_uid;
+    boot_uid = getuid();
+    if (!boot_uid) {
+        log("unixd: started with superuser privileges");
+    } else {
+        log("unixd: must be started as the superuser");
+        return 1;
+    }
+    rc = set_user_identity("wwwrun");
+    if (rc != 0) {
+        return 1;
+    }
+    rc = set_group_identity("www");
+    if (rc != 0) {
+        return 1;
+    }
+    worker_uid = server_uid;
+    worker_gid = server_gid;
+    if (worker_uid == 65534) {
+        log("unixd: warning: serving as nobody");
+    }
+    rc = drop_privileges();
+    if (rc != 0) {
+        return 1;
+    }
+    rc = restore_privileges();
+    if (rc != 0) {
+        return 1;
+    }
+    served = 0;
+    while (served < 8) {
+        rc = handle_request();
+        if (rc != 0) {
+            log("unixd: request handling failed");
+            return 1;
+        }
+        served = served + 1;
+    }
+    if (worker_uid != server_uid) {
+        log("unixd: identity drift detected");
+        return 1;
+    }
+    return 0;
+}
+`

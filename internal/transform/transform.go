@@ -1,0 +1,395 @@
+// Package transform implements the automated source-to-source UID
+// variation of §3.3/§4: given a minic program and a reexpression
+// function R_i, it produces variant i's source by
+//
+//  1. making implicit UID constants explicit (if(!getuid()) becomes
+//     if(getuid() == 0)),
+//  2. applying R_i to every UID-typed constant literal,
+//  3. rewriting UID comparisons to the cc_* detection syscalls of
+//     Table 2 (so the variants' instruction streams stay identical and
+//     ordered comparisons need no operator reversal, §3.5),
+//  4. wrapping exposed single-UID-value uses in uid_value,
+//  5. wrapping UID-influenced conditionals in cond_chk, and
+//  6. scrubbing UID values from log output (the paper's §4 fix).
+//
+// The paper performed this transformation on Apache by hand — 73
+// changes — noting it "could be readily automated" with uid_t type
+// information plus Splint-style inference; this package is that
+// automation, and it reports the same change-count breakdown.
+package transform
+
+import (
+	"fmt"
+
+	"nvariant/internal/minic"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/sys"
+	"nvariant/internal/word"
+)
+
+// Counts is the change accounting, matching the paper's §4 breakdown.
+type Counts struct {
+	// Constants counts reexpressed UID constant literals (paper: 15).
+	Constants int
+	// ImplicitConstants counts implicit-comparison rewrites that
+	// created those constants (a subset of the constant work; the
+	// paper folds these into its 15).
+	ImplicitConstants int
+	// UIDValues counts uid_value insertions (paper: 16).
+	UIDValues int
+	// Comparisons counts cc_* rewrites of UID comparisons (paper: 22).
+	Comparisons int
+	// CondChks counts cond_chk insertions (paper: 20).
+	CondChks int
+	// LogScrubs counts UID values removed from log output (paper
+	// describes one such workaround).
+	LogScrubs int
+}
+
+// Total is the overall number of source changes (implicit-constant
+// rewrites are counted within Constants, as in the paper).
+func (c Counts) Total() int {
+	return c.Constants + c.UIDValues + c.Comparisons + c.CondChks + c.LogScrubs
+}
+
+// PaperCounts returns the paper's Apache change breakdown (§4).
+func PaperCounts() Counts {
+	return Counts{Constants: 15, UIDValues: 16, Comparisons: 22, CondChks: 20}
+}
+
+// Result is a transformed variant.
+type Result struct {
+	// Program is the transformed AST (independently parsed; safe to
+	// run alongside other variants).
+	Program *minic.Program
+	// Counts is the change accounting.
+	Counts Counts
+	// InferredUIDVars lists int variables promoted to uid_t by the
+	// Splint-style analysis.
+	InferredUIDVars []string
+}
+
+// Apply parses src and produces variant source transformed with f.
+func Apply(src string, f reexpress.Func) (*Result, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	check, err := minic.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	t := &transformer{prog: prog, check: check, f: f}
+	if err := t.run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Program:         prog,
+		Counts:          t.counts,
+		InferredUIDVars: append([]string(nil), check.InferredUIDVars...),
+	}, nil
+}
+
+// ccFor maps comparison operators to Table 2 calls.
+var ccFor = map[string]string{
+	"==": "cc_eq", "!=": "cc_neq", "<": "cc_lt", "<=": "cc_leq", ">": "cc_gt", ">=": "cc_geq",
+}
+
+type transformer struct {
+	prog   *minic.Program
+	check  *minic.CheckResult
+	f      reexpress.Func
+	counts Counts
+	fn     string // current function name
+	err    error
+}
+
+func (t *transformer) run() error {
+	builtins := minic.Builtins()
+	for _, g := range t.prog.Globals {
+		t.fn = ""
+		if g.Init != nil {
+			g.Init = t.rewriteExpr(g.Init, builtins)
+		}
+	}
+	for _, fn := range t.prog.Funcs {
+		t.fn = fn.Name
+		t.rewriteBlock(fn.Body, builtins)
+	}
+	return t.err
+}
+
+func (t *transformer) typeOf(e minic.Expr) minic.Type {
+	return t.check.TypeOfExpr(t.prog, t.fn, e)
+}
+
+func (t *transformer) tainted(e minic.Expr) bool {
+	return t.check.Tainted(t.prog, t.fn, e)
+}
+
+func (t *transformer) rewriteBlock(b *minic.BlockStmt, builtins map[string]minic.Builtin) {
+	for _, st := range b.Stmts {
+		t.rewriteStmt(st, builtins)
+	}
+}
+
+func (t *transformer) rewriteStmt(s minic.Stmt, builtins map[string]minic.Builtin) {
+	switch st := s.(type) {
+	case *minic.VarDecl:
+		if st.Init != nil {
+			st.Init = t.rewriteExpr(st.Init, builtins)
+			st.Init = t.maybeUIDValue(st.Init, builtins)
+		}
+	case *minic.AssignStmt:
+		st.X = t.rewriteExpr(st.X, builtins)
+		st.X = t.maybeUIDValue(st.X, builtins)
+	case *minic.ExprStmt:
+		st.X = t.rewriteExpr(st.X, builtins)
+	case *minic.IfStmt:
+		st.Cond = t.rewriteCond(st.Cond, builtins)
+		t.rewriteBlock(st.Then, builtins)
+		if st.Else != nil {
+			t.rewriteBlock(st.Else, builtins)
+		}
+	case *minic.WhileStmt:
+		st.Cond = t.rewriteCond(st.Cond, builtins)
+		t.rewriteBlock(st.Body, builtins)
+	case *minic.ReturnStmt:
+		if st.X != nil {
+			st.X = t.rewriteExpr(st.X, builtins)
+		}
+	case *minic.BlockStmt:
+		t.rewriteBlock(st, builtins)
+	}
+}
+
+// rewriteCond handles conditions: implicit UID comparisons become
+// explicit, UID comparisons become cc_* calls, and UID-influenced
+// conditions gain cond_chk.
+func (t *transformer) rewriteCond(e minic.Expr, builtins map[string]minic.Builtin) minic.Expr {
+	taintedBefore := t.tainted(e)
+	e = t.explicitUIDTruthiness(e)
+	e = t.rewriteExpr(e, builtins)
+
+	// cond_chk wrapping (§3.5): UID-influenced conditions that are not
+	// already a detection call get exposed to the monitor.
+	if call, ok := e.(*minic.CallExpr); ok {
+		if isDetectionCall(call.Name) {
+			return e
+		}
+	}
+	if taintedBefore {
+		e = t.asBool(e)
+		t.counts.CondChks++
+		return &minic.CallExpr{Name: "cond_chk", Args: []minic.Expr{e}, Line: minicLine(e)}
+	}
+	return e
+}
+
+// asBool coerces a non-bool condition to an explicit boolean.
+func (t *transformer) asBool(e minic.Expr) minic.Expr {
+	if t.typeOf(e) == minic.TypeBool {
+		return e
+	}
+	return &minic.BinaryExpr{
+		Op:   "!=",
+		X:    e,
+		Y:    &minic.IntLit{Value: 0, Line: minicLine(e)},
+		Line: minicLine(e),
+	}
+}
+
+// explicitUIDTruthiness rewrites implicit UID comparisons: !uidExpr
+// becomes uidExpr == 0 and a bare uidExpr condition becomes
+// uidExpr != 0 (§3.3's if(!getuid()) example).
+func (t *transformer) explicitUIDTruthiness(e minic.Expr) minic.Expr {
+	if u, ok := e.(*minic.UnaryExpr); ok && u.Op == "!" {
+		if t.typeOf(u.X).IsUIDLike() {
+			t.counts.ImplicitConstants++
+			lit := &minic.IntLit{Value: 0, Line: u.Line, InferredType: t.typeOf(u.X)}
+			return &minic.BinaryExpr{Op: "==", X: u.X, Y: lit, Line: u.Line}
+		}
+	}
+	if t.typeOf(e).IsUIDLike() {
+		t.counts.ImplicitConstants++
+		lit := &minic.IntLit{Value: 0, Line: minicLine(e), InferredType: t.typeOf(e)}
+		return &minic.BinaryExpr{Op: "!=", X: e, Y: lit, Line: minicLine(e)}
+	}
+	return e
+}
+
+// rewriteExpr applies constant reexpression, cc_* rewriting, uid_value
+// argument wrapping, and log scrubbing, bottom-up.
+func (t *transformer) rewriteExpr(e minic.Expr, builtins map[string]minic.Builtin) minic.Expr {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		if x.InferredType.IsUIDLike() {
+			t.reexpressLit(x)
+		}
+		return x
+
+	case *minic.UnaryExpr:
+		// Inside expressions, !uidExpr must also become explicit.
+		if x.Op == "!" && t.typeOf(x.X).IsUIDLike() {
+			rewritten := t.explicitUIDTruthiness(x)
+			return t.rewriteExpr(rewritten, builtins)
+		}
+		x.X = t.rewriteExpr(x.X, builtins)
+		return x
+
+	case *minic.BinaryExpr:
+		isUIDCompare := isComparisonOp(x.Op) &&
+			(t.typeOf(x.X).IsUIDLike() || t.typeOf(x.Y).IsUIDLike())
+		x.X = t.rewriteExpr(x.X, builtins)
+		x.Y = t.rewriteExpr(x.Y, builtins)
+		if isUIDCompare {
+			t.counts.Comparisons++
+			return &minic.CallExpr{
+				Name: ccFor[x.Op],
+				Args: []minic.Expr{x.X, x.Y},
+				Line: x.Line,
+			}
+		}
+		return x
+
+	case *minic.CallExpr:
+		// §4 log scrub: drop the UID value from log output rather than
+		// converting it (which would reopen an attack path, §4).
+		if x.Name == "log_uid" {
+			t.counts.LogScrubs++
+			msg := t.rewriteExpr(x.Args[0], builtins)
+			return &minic.CallExpr{Name: "log", Args: []minic.Expr{msg}, Line: x.Line}
+		}
+		params := t.paramTypes(x.Name, builtins)
+		kernel := isKernelCall(x.Name, builtins)
+		for i := range x.Args {
+			x.Args[i] = t.rewriteExpr(x.Args[i], builtins)
+			// uid_value wrapping: UID arguments to non-kernel
+			// functions are exposed to the monitor at the point of
+			// use (the paper's getpwname(uid_value(uid)) example).
+			if !kernel && i < len(params) && params[i].IsUIDLike() {
+				x.Args[i] = t.wrapUIDValue(x.Args[i])
+			}
+		}
+		return x
+
+	default:
+		return e
+	}
+}
+
+// maybeUIDValue wraps stored UID values produced by non-kernel calls:
+// worker = pw_uid() becomes worker = uid_value(pw_uid()), exposing the
+// externally sourced UID to the monitor before it is stored.
+func (t *transformer) maybeUIDValue(e minic.Expr, builtins map[string]minic.Builtin) minic.Expr {
+	call, ok := e.(*minic.CallExpr)
+	if !ok {
+		return e
+	}
+	if isDetectionCall(call.Name) || isKernelCall(call.Name, builtins) {
+		return e
+	}
+	if !t.typeOf(call).IsUIDLike() {
+		return e
+	}
+	return t.wrapUIDValue(e)
+}
+
+func (t *transformer) wrapUIDValue(e minic.Expr) minic.Expr {
+	if call, ok := e.(*minic.CallExpr); ok && call.Name == "uid_value" {
+		return e
+	}
+	t.counts.UIDValues++
+	return &minic.CallExpr{Name: "uid_value", Args: []minic.Expr{e}, Line: minicLine(e)}
+}
+
+// reexpressLit rewrites one UID constant with R_i.
+func (t *transformer) reexpressLit(lit *minic.IntLit) {
+	out, err := t.f.Apply(word.Word(lit.Value))
+	if err != nil && t.err == nil {
+		t.err = fmt.Errorf("transform: reexpress constant %d: %w", lit.Value, err)
+		return
+	}
+	lit.Value = uint32(out)
+	t.counts.Constants++
+}
+
+func (t *transformer) paramTypes(name string, builtins map[string]minic.Builtin) []minic.Type {
+	if b, ok := builtins[name]; ok {
+		return b.Params
+	}
+	if f, ok := t.prog.Func(name); ok {
+		types := make([]minic.Type, len(f.Params))
+		for i, p := range f.Params {
+			types[i] = p.Type
+		}
+		return types
+	}
+	return nil
+}
+
+func isComparisonOp(op string) bool {
+	_, ok := ccFor[op]
+	return ok
+}
+
+func isDetectionCall(name string) bool {
+	switch name {
+	case "uid_value", "cond_chk", "cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq":
+		return true
+	default:
+		return false
+	}
+}
+
+func isKernelCall(name string, builtins map[string]minic.Builtin) bool {
+	b, ok := builtins[name]
+	return ok && b.Kernel
+}
+
+func minicLine(e minic.Expr) int {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return x.Line
+	case *minic.BoolLit:
+		return x.Line
+	case *minic.StrLit:
+		return x.Line
+	case *minic.VarRef:
+		return x.Line
+	case *minic.CallExpr:
+		return x.Line
+	case *minic.UnaryExpr:
+		return x.Line
+	case *minic.BinaryExpr:
+		return x.Line
+	default:
+		return 0
+	}
+}
+
+// BuildVariants transforms src once per reexpression function and
+// compiles each result into a runnable variant program.
+func BuildVariants(name, src string, funcs []reexpress.Func, opts minic.InterpOptions) ([]Compiled, error) {
+	out := make([]Compiled, 0, len(funcs))
+	for i, f := range funcs {
+		res, err := Apply(src, f)
+		if err != nil {
+			return nil, fmt.Errorf("variant %d: %w", i, err)
+		}
+		prog, err := minic.CompileAST(fmt.Sprintf("%s-v%d", name, i), res.Program, opts)
+		if err != nil {
+			return nil, fmt.Errorf("variant %d: compile transformed source: %w", i, err)
+		}
+		out = append(out, Compiled{Program: prog, Result: res})
+	}
+	return out, nil
+}
+
+// Compiled pairs a runnable variant with its transformation record.
+type Compiled struct {
+	// Program is the runnable variant.
+	Program sys.Program
+	// Result is the transformation record.
+	Result *Result
+}

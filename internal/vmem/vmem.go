@@ -1,0 +1,284 @@
+// Package vmem simulates 32-bit process address spaces.
+//
+// Address-space partitioning (Table 1 of the paper) constructs
+// variants whose memory regions are disjoint: variant 0's addresses
+// have a 0 partition (high) bit and variant 1's have a 1 partition
+// bit. An attack that injects an absolute address can be valid in at
+// most one variant; dereferencing it in the other produces a
+// segmentation fault that the monitor observes as divergence
+// (Figure 1). Go programs cannot diversify their own runtime address
+// space (repro note: "low-level memory diversity clashes with
+// runtime"), so variants in this reproduction run on these simulated
+// spaces instead, preserving exactly the fault semantics the detection
+// argument needs.
+package vmem
+
+import (
+	"fmt"
+	"sort"
+
+	"nvariant/internal/word"
+)
+
+// Addr is an address in a simulated 32-bit address space.
+type Addr = word.Word
+
+// PageSize is the granularity of backing storage.
+const PageSize = 4096
+
+// Partition constrains which half of the address space a Space may
+// map, mirroring the address-space partitioning reexpression.
+type Partition int
+
+// Partition values.
+const (
+	// PartitionNone allows the full 32-bit space (used when address
+	// diversity is disabled).
+	PartitionNone Partition = iota + 1
+	// PartitionLow restricts the space to addresses with a 0 high bit.
+	PartitionLow
+	// PartitionHigh restricts the space to addresses with a 1 high bit.
+	PartitionHigh
+)
+
+// String names the partition.
+func (p Partition) String() string {
+	switch p {
+	case PartitionNone:
+		return "none"
+	case PartitionLow:
+		return "low"
+	case PartitionHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// Contains reports whether addr falls inside the partition.
+func (p Partition) Contains(addr Addr) bool {
+	switch p {
+	case PartitionLow:
+		return addr&word.HighBit == 0
+	case PartitionHigh:
+		return addr&word.HighBit != 0
+	default:
+		return true
+	}
+}
+
+// Base returns the lowest address of the partition.
+func (p Partition) Base() Addr {
+	if p == PartitionHigh {
+		return word.HighBit
+	}
+	return 0
+}
+
+// SegfaultError reports an access to an unmapped (or out-of-partition)
+// address — the alarm state of the address-partitioning variation.
+type SegfaultError struct {
+	// Addr is the faulting address.
+	Addr Addr
+	// Op is the attempted operation ("read", "write", "map").
+	Op string
+}
+
+// Error implements the error interface.
+func (e *SegfaultError) Error() string {
+	return fmt.Sprintf("vmem: segmentation fault: %s at %s", e.Op, e.Addr)
+}
+
+// segment is a mapped region [base, base+size).
+type segment struct {
+	base Addr
+	size uint32
+}
+
+func (s segment) end() uint64 { return uint64(s.base) + uint64(s.size) }
+
+// Space is a sparse, segment-mapped simulated address space. The zero
+// value is not usable; construct with New.
+type Space struct {
+	partition Partition
+	segments  []segment // sorted by base, non-overlapping
+	pages     map[Addr][]byte
+	brk       Addr // next allocation address for Alloc
+}
+
+// New returns an empty address space confined to the given partition.
+// Allocations made with Alloc start at the partition base plus a
+// small guard offset so address 0 (NULL) is never mapped.
+func New(partition Partition) *Space {
+	return &Space{
+		partition: partition,
+		pages:     make(map[Addr][]byte),
+		brk:       partition.Base() + PageSize,
+	}
+}
+
+// Partition returns the space's partition.
+func (s *Space) Partition() Partition { return s.partition }
+
+// Canonical maps an address into the canonical (variant-0) address
+// space by clearing the partition bit. This is the canonicalization
+// function the monitor uses to compare address arguments across
+// variants (§2, normal equivalence).
+func Canonical(addr Addr) Addr { return addr &^ word.HighBit }
+
+// Map makes [base, base+size) accessible. It fails if the region
+// leaves the partition, wraps the address space, has zero size, or
+// overlaps an existing segment.
+func (s *Space) Map(base Addr, size uint32) error {
+	if size == 0 {
+		return fmt.Errorf("vmem: map %s: zero size", base)
+	}
+	if uint64(base)+uint64(size) > 1<<32 {
+		return fmt.Errorf("vmem: map %s+%d: wraps address space", base, size)
+	}
+	last := base + Addr(size-1)
+	if !s.partition.Contains(base) || !s.partition.Contains(last) {
+		return &SegfaultError{Addr: base, Op: "map"}
+	}
+	for _, seg := range s.segments {
+		if uint64(base) < seg.end() && uint64(seg.base) < uint64(base)+uint64(size) {
+			return fmt.Errorf("vmem: map %s+%d: overlaps segment %s+%d", base, size, seg.base, seg.size)
+		}
+	}
+	s.segments = append(s.segments, segment{base: base, size: size})
+	sort.Slice(s.segments, func(i, j int) bool { return s.segments[i].base < s.segments[j].base })
+	return nil
+}
+
+// Alloc maps a fresh region of the given size at the next free
+// address and returns its base. Consecutive Alloc calls return
+// adjacent regions — which is what makes buffer overflows into a
+// neighbouring allocation possible, as in the planted httpd
+// vulnerability.
+func (s *Space) Alloc(size uint32) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("vmem: alloc: zero size")
+	}
+	base := s.brk
+	if err := s.Map(base, size); err != nil {
+		return 0, fmt.Errorf("alloc %d bytes: %w", size, err)
+	}
+	s.brk = base + Addr(size)
+	return base, nil
+}
+
+// AllocAligned is Alloc with the base rounded up to the given power of
+// two.
+func (s *Space) AllocAligned(size, align uint32) (Addr, error) {
+	if align == 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("vmem: alloc: alignment %d is not a power of two", align)
+	}
+	mask := Addr(align - 1)
+	s.brk = (s.brk + mask) &^ mask
+	return s.Alloc(size)
+}
+
+// mapped reports whether the full range [addr, addr+n) is mapped.
+func (s *Space) mapped(addr Addr, n uint32) bool {
+	if n == 0 {
+		return true
+	}
+	if uint64(addr)+uint64(n) > 1<<32 {
+		return false
+	}
+	// Because segments are sorted and non-overlapping, a range is
+	// mapped iff it is covered by consecutive adjacent segments.
+	need := uint64(addr)
+	stop := uint64(addr) + uint64(n)
+	for _, seg := range s.segments {
+		if seg.end() <= need {
+			continue
+		}
+		if uint64(seg.base) > need {
+			return false
+		}
+		need = seg.end()
+		if need >= stop {
+			return true
+		}
+	}
+	return false
+}
+
+// page returns the backing page for addr, creating it on demand.
+func (s *Space) page(addr Addr) []byte {
+	base := addr &^ Addr(PageSize-1)
+	p, ok := s.pages[base]
+	if !ok {
+		p = make([]byte, PageSize)
+		s.pages[base] = p
+	}
+	return p
+}
+
+// LoadByte loads one byte.
+func (s *Space) LoadByte(addr Addr) (byte, error) {
+	if !s.mapped(addr, 1) {
+		return 0, &SegfaultError{Addr: addr, Op: "read"}
+	}
+	return s.page(addr)[addr%PageSize], nil
+}
+
+// StoreByte stores one byte.
+func (s *Space) StoreByte(addr Addr, b byte) error {
+	if !s.mapped(addr, 1) {
+		return &SegfaultError{Addr: addr, Op: "write"}
+	}
+	s.page(addr)[addr%PageSize] = b
+	return nil
+}
+
+// ReadBytes loads n bytes starting at addr.
+func (s *Space) ReadBytes(addr Addr, n uint32) ([]byte, error) {
+	if !s.mapped(addr, n) {
+		return nil, &SegfaultError{Addr: addr, Op: "read"}
+	}
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		a := addr + Addr(i)
+		out[i] = s.page(a)[a%PageSize]
+	}
+	return out, nil
+}
+
+// WriteBytes stores b starting at addr.
+func (s *Space) WriteBytes(addr Addr, b []byte) error {
+	if !s.mapped(addr, uint32(len(b))) {
+		return &SegfaultError{Addr: addr, Op: "write"}
+	}
+	for i, v := range b {
+		a := addr + Addr(i)
+		s.page(a)[a%PageSize] = v
+	}
+	return nil
+}
+
+// ReadWord loads a little-endian 32-bit word.
+func (s *Space) ReadWord(addr Addr) (word.Word, error) {
+	b, err := s.ReadBytes(addr, word.Size)
+	if err != nil {
+		return 0, err
+	}
+	return word.FromBytes([word.Size]byte{b[0], b[1], b[2], b[3]}), nil
+}
+
+// WriteWord stores a little-endian 32-bit word.
+func (s *Space) WriteWord(addr Addr, w word.Word) error {
+	b := w.Bytes()
+	return s.WriteBytes(addr, b[:])
+}
+
+// Segments returns the mapped regions as (base, size) pairs in
+// address order. The result is a copy.
+func (s *Space) Segments() [][2]uint64 {
+	out := make([][2]uint64, len(s.segments))
+	for i, seg := range s.segments {
+		out[i] = [2]uint64{uint64(seg.base), uint64(seg.size)}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package vmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nvariant/internal/word"
+)
+
+func TestPartitionContains(t *testing.T) {
+	tests := []struct {
+		p    Partition
+		addr Addr
+		want bool
+	}{
+		{PartitionLow, 0x00001000, true},
+		{PartitionLow, 0x80001000, false},
+		{PartitionHigh, 0x80001000, true},
+		{PartitionHigh, 0x00001000, false},
+		{PartitionNone, 0x00001000, true},
+		{PartitionNone, 0x80001000, true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Contains(tt.addr); got != tt.want {
+			t.Errorf("%v.Contains(%s) = %v, want %v", tt.p, tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	for p, want := range map[Partition]string{
+		PartitionNone: "none", PartitionLow: "low", PartitionHigh: "high", Partition(9): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAllocAndRoundTrip(t *testing.T) {
+	s := New(PartitionLow)
+	addr, err := s.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if !PartitionLow.Contains(addr) {
+		t.Fatalf("Alloc returned %s outside low partition", addr)
+	}
+	if err := s.WriteBytes(addr, []byte("hello")); err != nil {
+		t.Fatalf("WriteBytes: %v", err)
+	}
+	got, err := s.ReadBytes(addr, 5)
+	if err != nil {
+		t.Fatalf("ReadBytes: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("ReadBytes = %q, want hello", got)
+	}
+}
+
+func TestAllocAdjacency(t *testing.T) {
+	// Consecutive allocations must be adjacent: the planted overflow
+	// relies on the request buffer sitting directly below the uid.
+	s := New(PartitionHigh)
+	a, err := s.Alloc(256)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	b, err := s.Alloc(4)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if b != a+256 {
+		t.Errorf("second Alloc at %s, want %s", b, a+256)
+	}
+	// Writing 260 bytes starting at a overflows into b.
+	payload := make([]byte, 260)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := s.WriteBytes(a, payload); err != nil {
+		t.Fatalf("overflowing write: %v", err)
+	}
+	w, err := s.ReadWord(b)
+	if err != nil {
+		t.Fatalf("ReadWord: %v", err)
+	}
+	want := word.FromBytes([4]byte{0, 1, 2, 3})
+	if w != want {
+		t.Errorf("overflowed word = %s, want %s", w, want)
+	}
+}
+
+func TestUnmappedAccessSegfaults(t *testing.T) {
+	s := New(PartitionLow)
+	var segv *SegfaultError
+	if _, err := s.LoadByte(0x00400000); !errors.As(err, &segv) {
+		t.Errorf("LoadByte unmapped = %v, want SegfaultError", err)
+	}
+	if err := s.StoreByte(0x00400000, 1); !errors.As(err, &segv) {
+		t.Errorf("StoreByte unmapped = %v, want SegfaultError", err)
+	}
+	if _, err := s.ReadBytes(0x00400000, 8); !errors.As(err, &segv) {
+		t.Errorf("ReadBytes unmapped = %v, want SegfaultError", err)
+	}
+}
+
+func TestNullIsNeverMapped(t *testing.T) {
+	s := New(PartitionLow)
+	if _, err := s.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadByte(0); err == nil {
+		t.Error("address 0 readable; NULL must fault")
+	}
+}
+
+func TestCrossPartitionAccessSegfaults(t *testing.T) {
+	// This is the Figure 1 detection semantics: variant 1's space
+	// faults on any variant-0 absolute address.
+	s := New(PartitionHigh)
+	addr, err := s.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowAlias := Canonical(addr)
+	var segv *SegfaultError
+	if _, err := s.LoadByte(lowAlias); !errors.As(err, &segv) {
+		t.Errorf("read of low alias %s = %v, want SegfaultError", lowAlias, err)
+	}
+}
+
+func TestMapRejectsOutOfPartition(t *testing.T) {
+	s := New(PartitionLow)
+	var segv *SegfaultError
+	if err := s.Map(0x80000000, 64); !errors.As(err, &segv) {
+		t.Errorf("Map(high) = %v, want SegfaultError", err)
+	}
+	// A region straddling the partition boundary must also fail.
+	if err := s.Map(0x7FFFFFF0, 64); !errors.As(err, &segv) {
+		t.Errorf("Map(straddle) = %v, want SegfaultError", err)
+	}
+}
+
+func TestMapRejectsOverlap(t *testing.T) {
+	s := New(PartitionNone)
+	if err := s.Map(0x1000, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Map(0x1800, 16); err == nil {
+		t.Error("overlapping Map succeeded")
+	}
+	if err := s.Map(0x0FFF, 2); err == nil {
+		t.Error("overlapping Map (front edge) succeeded")
+	}
+}
+
+func TestMapRejectsZeroAndWrap(t *testing.T) {
+	s := New(PartitionNone)
+	if err := s.Map(0x1000, 0); err == nil {
+		t.Error("zero-size Map succeeded")
+	}
+	if err := s.Map(0xFFFFFFF0, 32); err == nil {
+		t.Error("wrapping Map succeeded")
+	}
+}
+
+func TestReadSpansSegments(t *testing.T) {
+	// Two adjacent Map calls form a contiguous readable range.
+	s := New(PartitionNone)
+	if err := s.Map(0x2000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Map(0x2010, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(0x2008, make([]byte, 16)); err != nil {
+		t.Errorf("write spanning adjacent segments: %v", err)
+	}
+	// But a gap faults.
+	if err := s.Map(0x3000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(0x2018, make([]byte, 0x1000)); err == nil {
+		t.Error("write across unmapped gap succeeded")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	s := New(PartitionLow)
+	addr, err := s.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteWord(addr, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.ReadWord(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xDEADBEEF {
+		t.Errorf("ReadWord = %s, want 0xDEADBEEF", w)
+	}
+}
+
+func TestAllocAligned(t *testing.T) {
+	s := New(PartitionLow)
+	if _, err := s.Alloc(10); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.AllocAligned(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr%64 != 0 {
+		t.Errorf("AllocAligned returned %s, not 64-aligned", addr)
+	}
+	if _, err := s.AllocAligned(16, 3); err == nil {
+		t.Error("AllocAligned accepted non-power-of-two alignment")
+	}
+	if _, err := s.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if Canonical(0x80001234) != 0x00001234 {
+		t.Error("Canonical should clear the partition bit")
+	}
+	if Canonical(0x00001234) != 0x00001234 {
+		t.Error("Canonical must not change low addresses")
+	}
+}
+
+func TestSegmentsSnapshot(t *testing.T) {
+	s := New(PartitionLow)
+	a, _ := s.Alloc(10)
+	segs := s.Segments()
+	if len(segs) != 1 || segs[0][0] != uint64(a) || segs[0][1] != 10 {
+		t.Errorf("Segments = %v, want [[%d 10]]", segs, a)
+	}
+}
+
+func TestQuickByteRoundTrip(t *testing.T) {
+	s := New(PartitionHigh)
+	base, err := s.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, b byte) bool {
+		a := base + Addr(off%4096)
+		if err := s.StoreByte(a, b); err != nil {
+			return false
+		}
+		got, err := s.LoadByte(a)
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWriteReadBytes(t *testing.T) {
+	s := New(PartitionLow)
+	base, err := s.Alloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		a := base + Addr(off%4096)
+		if err := s.WriteBytes(a, data); err != nil {
+			return false
+		}
+		got, err := s.ReadBytes(a, uint32(len(data)))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package vos
+
+import (
+	"fmt"
+
+	"nvariant/internal/word"
+)
+
+// UID is a user identifier. As in the paper, "UID" is used for both
+// user and group identification data; GID is a distinct Go type for
+// clarity but shares the representation. UIDs are 32-bit words so the
+// reexpression functions apply to them directly.
+type UID = word.Word
+
+// GID is a group identifier.
+type GID = word.Word
+
+// Root is the superuser UID: the value a UID-corruption attack tries
+// to forge.
+const Root UID = 0
+
+// NoChange is the Unix "-1" UID/GID: setreuid/setregid interpret it as
+// "leave unchanged". This kernel special case for negative UID values
+// is the reason the paper's UID mask preserves the sign bit (§3.2).
+const NoChange UID = 0xFFFFFFFF
+
+// Cred is a process's credential set (the subset of Linux task
+// credentials the case study exercises).
+type Cred struct {
+	// RUID, EUID and SUID are the real, effective and saved user IDs.
+	RUID, EUID, SUID UID
+	// RGID, EGID and SGID are the real, effective and saved group IDs.
+	RGID, EGID, SGID GID
+}
+
+// CredFor returns the credential set of a process freshly launched by
+// the given user.
+func CredFor(uid UID, gid GID) Cred {
+	return Cred{RUID: uid, EUID: uid, SUID: uid, RGID: gid, EGID: gid, SGID: gid}
+}
+
+// String renders the credential set compactly.
+func (c Cred) String() string {
+	return fmt.Sprintf("uid=%s euid=%s suid=%s gid=%s egid=%s sgid=%s",
+		c.RUID.Decimal(), c.EUID.Decimal(), c.SUID.Decimal(),
+		c.RGID.Decimal(), c.EGID.Decimal(), c.SGID.Decimal())
+}
+
+// Setuid applies Linux setuid(2) semantics: a privileged process
+// (euid 0) sets all three UIDs; an unprivileged process may only set
+// its effective UID to its real or saved UID.
+func (c *Cred) Setuid(uid UID) error {
+	if c.EUID == Root {
+		c.RUID, c.EUID, c.SUID = uid, uid, uid
+		return nil
+	}
+	if uid == c.RUID || uid == c.SUID {
+		c.EUID = uid
+		return nil
+	}
+	return fmt.Errorf("setuid %s: %w", uid.Decimal(), ErrPerm)
+}
+
+// Seteuid applies seteuid(2) semantics: the effective UID may be set
+// to the real, effective, or saved UID; a privileged process may set
+// it to anything.
+func (c *Cred) Seteuid(uid UID) error {
+	if c.EUID == Root || uid == c.RUID || uid == c.EUID || uid == c.SUID {
+		c.EUID = uid
+		return nil
+	}
+	return fmt.Errorf("seteuid %s: %w", uid.Decimal(), ErrPerm)
+}
+
+// Setreuid applies setreuid(2) semantics, including the NoChange (−1)
+// special case. When the real UID is changed or the effective UID is
+// set to a value other than the previous real UID, the saved UID is
+// set to the new effective UID.
+func (c *Cred) Setreuid(ruid, euid UID) error {
+	newR, newE := c.RUID, c.EUID
+	if ruid != NoChange {
+		newR = ruid
+	}
+	if euid != NoChange {
+		newE = euid
+	}
+	if c.EUID != Root {
+		okR := ruid == NoChange || ruid == c.RUID || ruid == c.EUID
+		okE := euid == NoChange || euid == c.RUID || euid == c.EUID || euid == c.SUID
+		if !okR || !okE {
+			return fmt.Errorf("setreuid %s,%s: %w", ruid.Decimal(), euid.Decimal(), ErrPerm)
+		}
+	}
+	if ruid != NoChange || (euid != NoChange && newE != c.RUID) {
+		c.SUID = newE
+	}
+	c.RUID, c.EUID = newR, newE
+	return nil
+}
+
+// Setgid applies setgid(2) semantics (privilege judged by euid).
+func (c *Cred) Setgid(gid GID) error {
+	if c.EUID == Root {
+		c.RGID, c.EGID, c.SGID = gid, gid, gid
+		return nil
+	}
+	if gid == c.RGID || gid == c.SGID {
+		c.EGID = gid
+		return nil
+	}
+	return fmt.Errorf("setgid %s: %w", gid.Decimal(), ErrPerm)
+}
+
+// Setegid applies setegid(2) semantics.
+func (c *Cred) Setegid(gid GID) error {
+	if c.EUID == Root || gid == c.RGID || gid == c.EGID || gid == c.SGID {
+		c.EGID = gid
+		return nil
+	}
+	return fmt.Errorf("setegid %s: %w", gid.Decimal(), ErrPerm)
+}

@@ -1,0 +1,142 @@
+package vos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// User is one /etc/passwd entry.
+type User struct {
+	// Name is the login name.
+	Name string
+	// UID is the user ID.
+	UID UID
+	// GID is the primary group ID.
+	GID GID
+	// Gecos is the comment field.
+	Gecos string
+	// Home is the home directory.
+	Home string
+	// Shell is the login shell.
+	Shell string
+}
+
+// Group is one /etc/group entry.
+type Group struct {
+	// Name is the group name.
+	Name string
+	// GID is the group ID.
+	GID GID
+	// Members lists supplementary member login names.
+	Members []string
+}
+
+// FormatPasswd renders users in /etc/passwd format
+// (name:x:uid:gid:gecos:home:shell).
+func FormatPasswd(users []User) []byte {
+	var b strings.Builder
+	for _, u := range users {
+		fmt.Fprintf(&b, "%s:x:%s:%s:%s:%s:%s\n",
+			u.Name, u.UID.Decimal(), u.GID.Decimal(), u.Gecos, u.Home, u.Shell)
+	}
+	return []byte(b.String())
+}
+
+// ParsePasswd parses /etc/passwd format content. Blank lines and lines
+// starting with '#' are skipped.
+func ParsePasswd(data []byte) ([]User, error) {
+	var users []User
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ":")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("passwd line %d: %d fields, want 7", i+1, len(fields))
+		}
+		uid, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("passwd line %d: uid %q: %w", i+1, fields[2], err)
+		}
+		gid, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("passwd line %d: gid %q: %w", i+1, fields[3], err)
+		}
+		users = append(users, User{
+			Name:  fields[0],
+			UID:   UID(uid),
+			GID:   GID(gid),
+			Gecos: fields[4],
+			Home:  fields[5],
+			Shell: fields[6],
+		})
+	}
+	return users, nil
+}
+
+// FormatGroup renders groups in /etc/group format
+// (name:x:gid:member1,member2).
+func FormatGroup(groups []Group) []byte {
+	var b strings.Builder
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s:x:%s:%s\n", g.Name, g.GID.Decimal(), strings.Join(g.Members, ","))
+	}
+	return []byte(b.String())
+}
+
+// ParseGroup parses /etc/group format content.
+func ParseGroup(data []byte) ([]Group, error) {
+	var groups []Group
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("group line %d: %d fields, want 4", i+1, len(fields))
+		}
+		gid, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("group line %d: gid %q: %w", i+1, fields[2], err)
+		}
+		var members []string
+		if fields[3] != "" {
+			members = strings.Split(fields[3], ",")
+		}
+		groups = append(groups, Group{Name: fields[0], GID: GID(gid), Members: members})
+	}
+	return groups, nil
+}
+
+// LookupUser finds a user by login name.
+func LookupUser(users []User, name string) (User, bool) {
+	for _, u := range users {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return User{}, false
+}
+
+// LookupUID finds a user by UID.
+func LookupUID(users []User, uid UID) (User, bool) {
+	for _, u := range users {
+		if u.UID == uid {
+			return u, true
+		}
+	}
+	return User{}, false
+}
+
+// LookupGroup finds a group by name.
+func LookupGroup(groups []Group, name string) (Group, bool) {
+	for _, g := range groups {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Group{}, false
+}

@@ -1,0 +1,143 @@
+// Package webbench reproduces the role of WebBench 5.0 [41] in the
+// paper's evaluation: closed-loop client engines issuing a mix of
+// static page requests while measuring throughput (KB/s) and latency
+// (ms). The paper's two operating points are one engine on one client
+// machine (unsaturated) and 3 machines × 5 engines = 15 engines
+// (saturated).
+package webbench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nvariant/internal/httpd"
+	"nvariant/internal/simnet"
+)
+
+// DefaultMix is the static-page request mix (a spread of sizes like
+// WebBench's standard static workload tree).
+func DefaultMix() []string {
+	return []string{
+		"/index.html",
+		"/page1.html",
+		"/page2.html",
+		"/page3.html",
+		"/about.html",
+		"/styles.css",
+		"/logo.gif",
+	}
+}
+
+// Options configures a load run.
+type Options struct {
+	// Engines is the number of concurrent client engines (1 =
+	// unsaturated, 15 = the paper's saturated load).
+	Engines int
+	// RequestsPerEngine is how many requests each engine issues.
+	RequestsPerEngine int
+	// Mix is the URI list engines round-robin over (DefaultMix if
+	// empty).
+	Mix []string
+}
+
+// Metrics aggregates a load run's results.
+type Metrics struct {
+	// Requests is the number of completed requests.
+	Requests int
+	// Errors counts failed requests (connection or non-200 status).
+	Errors int
+	// Bytes is the total response bytes received.
+	Bytes int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// TotalLatency is the sum of per-request latencies.
+	TotalLatency time.Duration
+	// P95Latency is the 95th-percentile request latency.
+	P95Latency time.Duration
+}
+
+// ThroughputKBps returns throughput in kilobytes per second — the
+// metric of Table 3.
+func (m Metrics) ThroughputKBps() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / 1024 / m.Elapsed.Seconds()
+}
+
+// MeanLatency returns the average request latency — the second metric
+// of Table 3.
+func (m Metrics) MeanLatency() time.Duration {
+	if m.Requests == 0 {
+		return 0
+	}
+	return m.TotalLatency / time.Duration(m.Requests)
+}
+
+// String renders the metrics as a Table 3 cell pair.
+func (m Metrics) String() string {
+	return fmt.Sprintf("throughput %.1f KB/s, latency %.3f ms (%d requests, %d errors)",
+		m.ThroughputKBps(), float64(m.MeanLatency().Microseconds())/1000, m.Requests, m.Errors)
+}
+
+// Run drives the configured load against the server at port and
+// aggregates metrics across engines.
+func Run(net *simnet.Network, port uint16, opts Options) (Metrics, error) {
+	if opts.Engines <= 0 {
+		return Metrics{}, fmt.Errorf("webbench: engines must be positive, got %d", opts.Engines)
+	}
+	if opts.RequestsPerEngine <= 0 {
+		return Metrics{}, fmt.Errorf("webbench: requests per engine must be positive, got %d", opts.RequestsPerEngine)
+	}
+	mix := opts.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+
+	var (
+		mu        sync.Mutex
+		agg       Metrics
+		latencies []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for e := 0; e < opts.Engines; e++ {
+		wg.Add(1)
+		go func(engine int) {
+			defer wg.Done()
+			client := httpd.NewClient(net, port)
+			local := Metrics{}
+			localLat := make([]time.Duration, 0, opts.RequestsPerEngine)
+			for r := 0; r < opts.RequestsPerEngine; r++ {
+				uri := mix[(engine+r)%len(mix)]
+				t0 := time.Now()
+				code, body, err := client.Get(uri)
+				lat := time.Since(t0)
+				if err != nil || code != 200 {
+					local.Errors++
+					continue
+				}
+				local.Requests++
+				local.Bytes += int64(len(body))
+				local.TotalLatency += lat
+				localLat = append(localLat, lat)
+			}
+			mu.Lock()
+			agg.Requests += local.Requests
+			agg.Errors += local.Errors
+			agg.Bytes += local.Bytes
+			agg.TotalLatency += local.TotalLatency
+			latencies = append(latencies, localLat...)
+			mu.Unlock()
+		}(e)
+	}
+	wg.Wait()
+	agg.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		agg.P95Latency = latencies[(len(latencies)*95)/100]
+	}
+	return agg, nil
+}

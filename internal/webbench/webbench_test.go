@@ -1,0 +1,106 @@
+package webbench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+)
+
+func TestRunAgainstConfig1(t *testing.T) {
+	h, err := harness.Start(harness.Config1Unmodified, httpd.DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(h.Net, h.Port, Options{Engines: 2, RequestsPerEngine: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 20 || m.Errors != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Bytes == 0 || m.ThroughputKBps() <= 0 || m.MeanLatency() <= 0 {
+		t.Errorf("degenerate metrics: %+v", m)
+	}
+	if m.P95Latency < m.MeanLatency()/2 {
+		t.Errorf("p95 %v implausibly below mean %v", m.P95Latency, m.MeanLatency())
+	}
+	res, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Errorf("alarm under benign load: %+v", res.Alarm)
+	}
+}
+
+func TestRunAgainstUIDVariation(t *testing.T) {
+	// The full 2-variant UID configuration must sustain benign load
+	// with zero false alarms — the paper's deployability claim.
+	h, err := harness.Start(harness.Config4UIDVariation, httpd.DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(h.Net, h.Port, Options{Engines: 4, RequestsPerEngine: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d", m.Errors)
+	}
+	res, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Errorf("false alarm under benign load: %+v", res.Alarm)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Run(nil, 0, Options{Engines: 0, RequestsPerEngine: 1}); err == nil {
+		t.Error("zero engines accepted")
+	}
+	if _, err := Run(nil, 0, Options{Engines: 1, RequestsPerEngine: 0}); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	m := Metrics{
+		Requests:     10,
+		Bytes:        10240,
+		Elapsed:      time.Second,
+		TotalLatency: 100 * time.Millisecond,
+	}
+	if got := m.ThroughputKBps(); got != 10 {
+		t.Errorf("throughput = %v, want 10", got)
+	}
+	if got := m.MeanLatency(); got != 10*time.Millisecond {
+		t.Errorf("mean latency = %v, want 10ms", got)
+	}
+	if !strings.Contains(m.String(), "10.0 KB/s") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	var m Metrics
+	if m.ThroughputKBps() != 0 || m.MeanLatency() != 0 {
+		t.Error("zero metrics must not divide by zero")
+	}
+}
+
+func TestDefaultMixCoversSizes(t *testing.T) {
+	mix := DefaultMix()
+	if len(mix) < 5 {
+		t.Errorf("mix too small: %v", mix)
+	}
+	for _, uri := range mix {
+		if !strings.HasPrefix(uri, "/") {
+			t.Errorf("bad mix entry %q", uri)
+		}
+	}
+}

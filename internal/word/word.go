@@ -1,0 +1,93 @@
+// Package word provides the 32-bit machine word that diversified data
+// values are stored in, together with byte-granular access.
+//
+// The paper's threat model (§3.2) distinguishes attacks by the
+// granularity at which an attacker can corrupt memory: full-word
+// overwrites, byte-level partial overwrites (the lowest granularity
+// reported for remote attackers), and single-bit flips (known only for
+// physical threat models such as the heat-lamp attack). All overwrite
+// attacks in this repository are therefore expressed as operations on
+// Word values so that the detection arguments can be tested at each
+// granularity.
+package word
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Word is a 32-bit little-endian machine word. UID/GID values, memory
+// addresses and instruction words are all carried as Words.
+type Word uint32
+
+const (
+	// Bits is the width of a Word in bits.
+	Bits = 32
+	// Size is the width of a Word in bytes.
+	Size = 4
+	// HighBit is the sign/partition bit of a Word.
+	HighBit Word = 0x80000000
+	// Max is the largest representable Word.
+	Max Word = 0xFFFFFFFF
+)
+
+// Byte returns byte i of the word, with byte 0 being the least
+// significant ("low-order") byte, matching little-endian layout.
+func (w Word) Byte(i int) (byte, error) {
+	if i < 0 || i >= Size {
+		return 0, fmt.Errorf("word: byte index %d out of range [0,%d)", i, Size)
+	}
+	return byte(w >> (8 * uint(i))), nil
+}
+
+// WithByte returns a copy of the word with byte i replaced by b. Byte 0
+// is the least significant byte.
+func (w Word) WithByte(i int, b byte) (Word, error) {
+	if i < 0 || i >= Size {
+		return w, fmt.Errorf("word: byte index %d out of range [0,%d)", i, Size)
+	}
+	shift := 8 * uint(i)
+	mask := Word(0xFF) << shift
+	return (w &^ mask) | Word(b)<<shift, nil
+}
+
+// WithBit returns a copy of the word with bit i (0 = least significant)
+// set to the given value.
+func (w Word) WithBit(i int, set bool) (Word, error) {
+	if i < 0 || i >= Bits {
+		return w, fmt.Errorf("word: bit index %d out of range [0,%d)", i, Bits)
+	}
+	mask := Word(1) << uint(i)
+	if set {
+		return w | mask, nil
+	}
+	return w &^ mask, nil
+}
+
+// Bit reports whether bit i (0 = least significant) is set.
+func (w Word) Bit(i int) (bool, error) {
+	if i < 0 || i >= Bits {
+		return false, fmt.Errorf("word: bit index %d out of range [0,%d)", i, Bits)
+	}
+	return w&(Word(1)<<uint(i)) != 0, nil
+}
+
+// Bytes returns the word as 4 little-endian bytes.
+func (w Word) Bytes() [Size]byte {
+	return [Size]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+}
+
+// FromBytes assembles a word from 4 little-endian bytes.
+func FromBytes(b [Size]byte) Word {
+	return Word(b[0]) | Word(b[1])<<8 | Word(b[2])<<16 | Word(b[3])<<24
+}
+
+// String renders the word as 0xXXXXXXXX.
+func (w Word) String() string {
+	return "0x" + fmt.Sprintf("%08X", uint32(w))
+}
+
+// Decimal renders the word as an unsigned decimal string.
+func (w Word) Decimal() string {
+	return strconv.FormatUint(uint64(w), 10)
+}

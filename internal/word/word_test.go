@@ -1,0 +1,176 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByte(t *testing.T) {
+	w := Word(0xA1B2C3D4)
+	tests := []struct {
+		idx  int
+		want byte
+	}{
+		{0, 0xD4},
+		{1, 0xC3},
+		{2, 0xB2},
+		{3, 0xA1},
+	}
+	for _, tt := range tests {
+		got, err := w.Byte(tt.idx)
+		if err != nil {
+			t.Fatalf("Byte(%d): unexpected error %v", tt.idx, err)
+		}
+		if got != tt.want {
+			t.Errorf("Byte(%d) = %#02x, want %#02x", tt.idx, got, tt.want)
+		}
+	}
+}
+
+func TestByteOutOfRange(t *testing.T) {
+	w := Word(0)
+	for _, idx := range []int{-1, 4, 100} {
+		if _, err := w.Byte(idx); err == nil {
+			t.Errorf("Byte(%d): want error, got nil", idx)
+		}
+		if _, err := w.WithByte(idx, 0xFF); err == nil {
+			t.Errorf("WithByte(%d): want error, got nil", idx)
+		}
+	}
+}
+
+func TestWithByte(t *testing.T) {
+	w := Word(0x00000000)
+	got, err := w.WithByte(2, 0xAB)
+	if err != nil {
+		t.Fatalf("WithByte: %v", err)
+	}
+	if got != 0x00AB0000 {
+		t.Errorf("WithByte(2, 0xAB) = %s, want 0x00AB0000", got)
+	}
+}
+
+func TestWithByteReplaces(t *testing.T) {
+	w := Word(0xFFFFFFFF)
+	got, err := w.WithByte(0, 0x00)
+	if err != nil {
+		t.Fatalf("WithByte: %v", err)
+	}
+	if got != 0xFFFFFF00 {
+		t.Errorf("WithByte(0, 0x00) = %s, want 0xFFFFFF00", got)
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	w := Word(0)
+	w2, err := w.WithBit(31, true)
+	if err != nil {
+		t.Fatalf("WithBit: %v", err)
+	}
+	if w2 != HighBit {
+		t.Errorf("WithBit(31, true) = %s, want %s", w2, HighBit)
+	}
+	set, err := w2.Bit(31)
+	if err != nil {
+		t.Fatalf("Bit: %v", err)
+	}
+	if !set {
+		t.Error("Bit(31) = false, want true")
+	}
+	w3, err := w2.WithBit(31, false)
+	if err != nil {
+		t.Fatalf("WithBit: %v", err)
+	}
+	if w3 != 0 {
+		t.Errorf("WithBit(31, false) = %s, want 0x00000000", w3)
+	}
+}
+
+func TestBitOutOfRange(t *testing.T) {
+	w := Word(0)
+	for _, idx := range []int{-1, 32, 64} {
+		if _, err := w.Bit(idx); err == nil {
+			t.Errorf("Bit(%d): want error, got nil", idx)
+		}
+		if _, err := w.WithBit(idx, true); err == nil {
+			t.Errorf("WithBit(%d): want error, got nil", idx)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	cases := []Word{0, 1, HighBit, Max, 0xA1B2C3D4, 0x00FF00FF}
+	for _, w := range cases {
+		if got := FromBytes(w.Bytes()); got != w {
+			t.Errorf("FromBytes(Bytes(%s)) = %s", w, got)
+		}
+	}
+}
+
+func TestBytesLittleEndian(t *testing.T) {
+	b := Word(0x11223344).Bytes()
+	want := [Size]byte{0x44, 0x33, 0x22, 0x11}
+	if b != want {
+		t.Errorf("Bytes() = %v, want %v", b, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Word(0xDEADBEEF).String(); got != "0xDEADBEEF" {
+		t.Errorf("String() = %q, want 0xDEADBEEF", got)
+	}
+	if got := Word(5).Decimal(); got != "5" {
+		t.Errorf("Decimal() = %q, want 5", got)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(x uint32) bool {
+		w := Word(x)
+		return FromBytes(w.Bytes()) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWithByteThenByte(t *testing.T) {
+	f := func(x uint32, idx uint8, b byte) bool {
+		w := Word(x)
+		i := int(idx % Size)
+		w2, err := w.WithByte(i, b)
+		if err != nil {
+			return false
+		}
+		got, err := w2.Byte(i)
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWithByteOnlyTouchesOneByte(t *testing.T) {
+	f := func(x uint32, idx uint8, b byte) bool {
+		w := Word(x)
+		i := int(idx % Size)
+		w2, err := w.WithByte(i, b)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < Size; j++ {
+			if j == i {
+				continue
+			}
+			orig, _ := w.Byte(j)
+			got, _ := w2.Byte(j)
+			if orig != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

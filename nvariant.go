@@ -1,0 +1,248 @@
+// Package nvariant is the public API of the reproduction of "Security
+// through Redundant Data Diversity" (Nguyen-Tuong, Evans, Knight, Cox,
+// Davidson — DSN 2008).
+//
+// An N-variant system runs N variants of a program whose *data
+// representations* differ under per-variant reexpression functions
+// R_i, behind a monitor that replicates inputs to all variants,
+// synchronizes them at system-call boundaries, and raises an alarm on
+// any divergence. Because the inverse reexpression functions are
+// disjoint (∀x: R⁻¹₀(x) ≠ R⁻¹₁(x)), an attacker — who can only send
+// the same input bytes to every variant — cannot corrupt the
+// diversified data in all variants consistently: the corruption is
+// detected at its first use, without any secrets.
+//
+// Quick start (the UID variation of the paper's case study):
+//
+//	world, _ := nvariant.NewWorld()
+//	pair := nvariant.UIDVariation().Pair
+//	nvariant.SetupUnsharedPasswd(world, pair.Funcs())
+//	res, _ := nvariant.Run(world, nvariant.NewNetwork(0),
+//	    []nvariant.Program{variant0, variant1},
+//	    nvariant.WithUIDVariation(pair),
+//	    nvariant.WithUnsharedFiles("/etc/passwd", "/etc/group"))
+//	if res.Detected() {
+//	    fmt.Println("attack detected:", res.Alarm)
+//	}
+//
+// The package re-exports the building blocks: the reexpression-
+// function framework (Table 1), the monitor kernel with its detection
+// system calls (Table 2), the simulated OS/network substrates, the
+// case-study web server with its planted non-control-data
+// vulnerability (§4), the automated source-to-source UID transformer
+// for the bundled mini-C language (§3.3), and the experiment drivers
+// that regenerate the paper's tables and figures.
+package nvariant
+
+import (
+	"time"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/minic"
+	"nvariant/internal/nvkernel"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/simnet"
+	"nvariant/internal/sys"
+	"nvariant/internal/transform"
+	"nvariant/internal/vos"
+	"nvariant/internal/word"
+)
+
+// Core value types.
+type (
+	// Word is the 32-bit machine word diversified data is stored in.
+	Word = word.Word
+	// UID is a user identifier (also used for GIDs, as in the paper).
+	UID = vos.UID
+
+	// ReexpressionFunc is a data reexpression function R with inverse.
+	ReexpressionFunc = reexpress.Func
+	// Pair is a two-variant reexpression configuration (R₀, R₁).
+	Pair = reexpress.Pair
+	// Variation is a named Table 1 row.
+	Variation = reexpress.Variation
+
+	// Program is the code run (with per-variant data) by each variant.
+	Program = sys.Program
+	// Context is the per-variant syscall environment.
+	Context = sys.Context
+
+	// World is the simulated machine (filesystem, users).
+	World = vos.World
+	// Network is the simulated network clients dial.
+	Network = simnet.Network
+
+	// Option configures the monitor kernel.
+	Option = nvkernel.Option
+	// Result is the outcome of an N-variant run.
+	Result = nvkernel.Result
+	// Alarm is the monitor's divergence report.
+	Alarm = nvkernel.Alarm
+	// Reason classifies an alarm.
+	Reason = nvkernel.Reason
+)
+
+// Alarm reasons, re-exported.
+const (
+	ReasonSyscallMismatch = nvkernel.ReasonSyscallMismatch
+	ReasonArgDivergence   = nvkernel.ReasonArgDivergence
+	ReasonUIDDivergence   = nvkernel.ReasonUIDDivergence
+	ReasonCondDivergence  = nvkernel.ReasonCondDivergence
+	ReasonDataDivergence  = nvkernel.ReasonDataDivergence
+	ReasonVariantFault    = nvkernel.ReasonVariantFault
+	ReasonTimeout         = nvkernel.ReasonTimeout
+)
+
+// Cred is a simulated process credential set.
+type Cred = vos.Cred
+
+// RootCred returns superuser credentials (for world setup and
+// inspection from the host side).
+func RootCred() Cred { return vos.CredFor(vos.Root, 0) }
+
+// NewWorld builds the standard simulated machine: base users, passwd
+// and group files, a document root, and the root-only secret the
+// attack experiments target.
+func NewWorld() (*World, error) { return vos.NewWorld() }
+
+// NewNetwork builds a simulated network with the given one-way wire
+// latency.
+func NewNetwork(latency time.Duration) *Network { return simnet.New(latency) }
+
+// Run executes the given variant programs as one N-variant process
+// group under the monitor kernel.
+func Run(world *World, net *Network, progs []Program, opts ...Option) (*Result, error) {
+	return nvkernel.Run(world, net, progs, opts...)
+}
+
+// Kernel options, re-exported.
+var (
+	// WithUIDVariation installs a UID data variation.
+	WithUIDVariation = nvkernel.WithUIDVariation
+	// WithUIDFuncs installs explicit per-variant UID functions.
+	WithUIDFuncs = nvkernel.WithUIDFuncs
+	// WithAddressPartition places variants in disjoint address spaces.
+	WithAddressPartition = nvkernel.WithAddressPartition
+	// WithUnsharedFiles marks per-variant diversified files (§3.4).
+	WithUnsharedFiles = nvkernel.WithUnsharedFiles
+	// WithTimeout bounds the rendezvous wait.
+	WithTimeout = nvkernel.WithTimeout
+	// WithCred sets the group's initial credentials.
+	WithCred = nvkernel.WithCred
+)
+
+// SetupUnsharedPasswd writes the diversified /etc/passwd-<i> and
+// /etc/group-<i> files for each variant function (§3.4).
+func SetupUnsharedPasswd(world *World, funcs []ReexpressionFunc) error {
+	return nvkernel.SetupUnsharedPasswd(world, funcs)
+}
+
+// Table 1 variations.
+var (
+	// UIDVariation is the paper's contribution: R₁(u) = u ⊕ 0x7FFFFFFF.
+	UIDVariation = reexpress.UIDVariation
+	// AddressPartitioning is Table 1 row 1.
+	AddressPartitioning = reexpress.AddressPartitioning
+	// ExtendedPartitioning is Table 1 row 2.
+	ExtendedPartitioning = reexpress.ExtendedPartitioning
+	// InstructionTagging is Table 1 row 3.
+	InstructionTagging = reexpress.InstructionTagging
+	// Table1 returns all four rows in paper order.
+	Table1 = reexpress.Table1
+)
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc = sys.ProgramFunc
+
+// --- Case-study web server (§4) --------------------------------------
+
+// HTTPServerOptions configures the case-study server.
+type HTTPServerOptions = httpd.Options
+
+// HTTPServerConsts holds the server's (build-time reexpressed) UID
+// constants.
+type HTTPServerConsts = httpd.Consts
+
+// NewHTTPServer builds one server variant.
+func NewHTTPServer(opts HTTPServerOptions, consts HTTPServerConsts) Program {
+	return httpd.New(opts, consts)
+}
+
+// BuildHTTPVariants builds one transformed server per reexpression
+// function (applying R_i to the program's UID constants).
+func BuildHTTPVariants(opts HTTPServerOptions, funcs []ReexpressionFunc) ([]Program, error) {
+	return httpd.BuildVariants(opts, funcs)
+}
+
+// SetupHTTPWorld installs the server's configuration file.
+func SetupHTTPWorld(world *World) error { return httpd.SetupWorld(world) }
+
+// HTTPClient is the remote-user (and attacker) interface.
+type HTTPClient = httpd.Client
+
+// NewHTTPClient builds a client for a network and port.
+func NewHTTPClient(net *Network, port uint16) *HTTPClient {
+	return httpd.NewClient(net, port)
+}
+
+// Configuration selects one of the paper's Table 3 deployments.
+type Configuration = harness.Configuration
+
+// The four Table 3 configurations.
+const (
+	Config1Unmodified   = harness.Config1Unmodified
+	Config2Transformed  = harness.Config2Transformed
+	Config3AddressSpace = harness.Config3AddressSpace
+	Config4UIDVariation = harness.Config4UIDVariation
+)
+
+// ServerHandle controls a running configuration.
+type ServerHandle = harness.Handle
+
+// StartConfiguration launches a Table 3 configuration on a fresh
+// world and returns a handle for clients and shutdown.
+func StartConfiguration(c Configuration, opts HTTPServerOptions, latency time.Duration) (*ServerHandle, error) {
+	return harness.Start(c, opts, latency)
+}
+
+// --- Automated UID transformation (§3.3) -----------------------------
+
+// TransformCounts is the change accounting of a transformation run.
+type TransformCounts = transform.Counts
+
+// TransformResult is a transformed variant with its accounting.
+type TransformResult = transform.Result
+
+// TransformMinic applies the automated UID variation to mini-C source.
+func TransformMinic(src string, f ReexpressionFunc) (*TransformResult, error) {
+	return transform.Apply(src, f)
+}
+
+// MinicInterpOptions configures mini-C execution (including the
+// memory-corruption attacker primitive used in experiments).
+type MinicInterpOptions = minic.InterpOptions
+
+// CompileMinic parses, checks and wraps mini-C source as a variant
+// program.
+func CompileMinic(name, src string, opts MinicInterpOptions) (Program, error) {
+	return minic.Compile(name, src, opts)
+}
+
+// BuildMinicVariants transforms src per variant function and compiles
+// each result.
+func BuildMinicVariants(name, src string, funcs []ReexpressionFunc, opts MinicInterpOptions) ([]Program, error) {
+	compiled, err := transform.BuildVariants(name, src, funcs, opts)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]Program, len(compiled))
+	for i, c := range compiled {
+		progs[i] = c.Program
+	}
+	return progs, nil
+}
+
+// SampleServerSource is the bundled mini-C port of the case-study
+// server's UID module (the change-count experiment's subject).
+const SampleServerSource = transform.SampleServerSource

@@ -1,0 +1,149 @@
+package nvariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeUIDVariationDetection(t *testing.T) {
+	pair := UIDVariation().Pair
+	world, err := NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetupUnsharedPasswd(world, pair.Funcs()); err != nil {
+		t.Fatal(err)
+	}
+
+	forged := ProgramFunc{ProgName: "forged", Fn: func(ctx *Context) error {
+		if err := ctx.Setuid(0); err != nil {
+			return err
+		}
+		return ctx.Exit(0)
+	}}
+	res, err := Run(world, NewNetwork(0), []Program{forged, forged},
+		WithUIDVariation(pair),
+		WithUnsharedFiles("/etc/passwd", "/etc/group"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("forged setuid not detected through the facade")
+	}
+	if res.Alarm.Reason != ReasonUIDDivergence {
+		t.Errorf("reason = %v, want uid-divergence", res.Alarm.Reason)
+	}
+}
+
+func TestFacadeConfigurationLifecycle(t *testing.T) {
+	h, err := StartConfiguration(Config4UIDVariation, HTTPServerOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := h.Client()
+	code, body, err := client.Get("/index.html")
+	if err != nil || code != 200 {
+		t.Fatalf("GET = %d, %v", code, err)
+	}
+	if !strings.Contains(string(body), "It works!") {
+		t.Errorf("body = %q", body)
+	}
+	res, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Errorf("alarm: %v", res.Alarm)
+	}
+}
+
+func TestFacadeTransformAndRun(t *testing.T) {
+	pair := UIDVariation().Pair
+	res, err := TransformMinic(SampleServerSource, pair.R1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() == 0 {
+		t.Error("no changes reported")
+	}
+
+	world, err := NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetupUnsharedPasswd(world, pair.Funcs()); err != nil {
+		t.Fatal(err)
+	}
+	progs, err := BuildMinicVariants("unixd", SampleServerSource, pair.Funcs(), MinicInterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(world, NewNetwork(0), progs,
+		WithUIDVariation(pair),
+		WithUnsharedFiles("/etc/passwd", "/etc/group"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Clean || run.Status != 0 {
+		t.Fatalf("transformed variants: clean=%v status=%d alarm=%v", run.Clean, run.Status, run.Alarm)
+	}
+}
+
+func TestFacadeCompileMinic(t *testing.T) {
+	prog, err := CompileMinic("hello", `int main() { log("hi"); return 0; }`, MinicInterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(world, NewNetwork(0), []Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean || !strings.Contains(string(res.Stderr), "hi") {
+		t.Errorf("clean=%v stderr=%q", res.Clean, res.Stderr)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	if rows[3].Name != "UID Variation" {
+		t.Errorf("row 4 = %q", rows[3].Name)
+	}
+	// The facade exposes the Pair math directly.
+	r1 := UIDVariation().Pair.R1
+	rep, err := r1.Apply(0)
+	if err != nil || rep != 0x7FFFFFFF {
+		t.Errorf("R1(0) = %v, %v", rep, err)
+	}
+}
+
+func TestFacadeHTTPVariants(t *testing.T) {
+	pair := UIDVariation().Pair
+	progs, err := BuildHTTPVariants(HTTPServerOptions{}, pair.Funcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("variants = %d", len(progs))
+	}
+}
+
+func TestFacadeRootCred(t *testing.T) {
+	cred := RootCred()
+	if cred.EUID != 0 || cred.RUID != 0 {
+		t.Errorf("RootCred = %+v", cred)
+	}
+	world, err := NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := world.FS.ReadFile("/var/www/private/secret.html", cred); err != nil {
+		t.Errorf("root cannot read the secret: %v", err)
+	}
+}
