@@ -12,6 +12,7 @@ import (
 
 	"nvariant/internal/attack"
 	"nvariant/internal/experiments"
+	"nvariant/internal/fleet"
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
 	"nvariant/internal/isa"
@@ -367,6 +368,96 @@ func BenchmarkAblationUnsharedFiles(b *testing.B) {
 				b.Fatalf("run: %v %v", err, res.Alarm)
 			}
 		})
+	}
+}
+
+// --- Fleet: horizontal scaling and availability under attack -----------
+
+// benchFleetSaturated measures saturated fleet throughput at one pool
+// size. Unlike the Table 3 benches this deliberately runs on all
+// cores: horizontal scaling across groups is the point.
+func benchFleetSaturated(b *testing.B, groups, engines int) {
+	b.Helper()
+	serverOpts := httpd.DefaultOptions()
+	serverOpts.WorkFactor = 400
+	var totalKBps, totalMs float64
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Options{Groups: groups, Server: serverOpts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{
+			Engines:           engines,
+			RequestsPerEngine: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := f.Stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Errors > 0 {
+			b.Fatalf("%d request errors", m.Errors)
+		}
+		if stats.Detections != 0 {
+			b.Fatalf("false detection under benign load: %+v", stats)
+		}
+		totalKBps += m.ThroughputKBps()
+		totalMs += float64(m.MeanLatency().Microseconds()) / 1000
+	}
+	b.ReportMetric(totalKBps/float64(b.N), "KB/s")
+	b.ReportMetric(totalMs/float64(b.N), "ms/req")
+}
+
+func BenchmarkFleetSaturatedPool1(b *testing.B) { benchFleetSaturated(b, 1, 15) }
+func BenchmarkFleetSaturatedPool2(b *testing.B) { benchFleetSaturated(b, 2, 15) }
+func BenchmarkFleetSaturatedPool4(b *testing.B) { benchFleetSaturated(b, 4, 15) }
+func BenchmarkFleetSaturatedPool8(b *testing.B) { benchFleetSaturated(b, 8, 15) }
+
+// BenchmarkFleetUnderAttack runs the fleet-under-attack scenario and
+// reports the availability headline: throughput retained relative to
+// the attack-free baseline while every probe is detected and every
+// struck group is quarantined and replaced.
+func BenchmarkFleetUnderAttack(b *testing.B) {
+	var retained, errRate float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFleetAttackOptions()
+		opts.RequestsPerEngine = 12
+		opts.Probes = 3
+		r, err := experiments.RunFleetAttack(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Detections != opts.Probes {
+			b.Fatalf("detections = %d, want %d", r.Detections, opts.Probes)
+		}
+		retained += r.ThroughputRetained()
+		errRate += r.ErrorRate()
+	}
+	b.ReportMetric(retained/float64(b.N), "retained")
+	b.ReportMetric(errRate/float64(b.N), "err-rate")
+}
+
+// BenchmarkFleetDispatchOverhead measures the per-request cost the
+// dispatcher adds over a directly-dialed group (pool of one, so the
+// difference is pure proxy overhead).
+func BenchmarkFleetDispatchOverhead(b *testing.B) {
+	f, err := fleet.New(fleet.Options{Groups: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := f.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, _, err := client.Get("/index.html")
+		if err != nil || code != 200 {
+			b.Fatalf("request %d: %d %v", i, code, err)
+		}
+	}
+	b.StopTimer()
+	if _, err := f.Stop(); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -1,0 +1,156 @@
+// Command fleetbench measures how a fleet of N-variant server groups
+// scales: it sweeps pool size × webbench engine count and prints a
+// scaling table (throughput, mean and tail latency, errors), and can
+// run the fleet-under-attack scenario to show availability during an
+// attack campaign.
+//
+// Usage:
+//
+//	fleetbench                      # sweep pools 1,2,4,8 × engines 1,15
+//	fleetbench -pools 2,4 -engines 15 -requests 30
+//	fleetbench -policy least-loaded # balancing policy
+//	fleetbench -attack              # fleet-under-attack scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nvariant/internal/experiments"
+	"nvariant/internal/fleet"
+	"nvariant/internal/httpd"
+	"nvariant/internal/webbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pools := flag.String("pools", "1,2,4,8", "comma-separated pool sizes to sweep")
+	engines := flag.String("engines", "1,15", "comma-separated engine counts to sweep")
+	requests := flag.Int("requests", 25, "requests per engine")
+	workFactor := flag.Int("work", 400, "per-request CPU work factor")
+	latency := flag.Duration("latency", 0, "one-way wire latency")
+	policyName := flag.String("policy", "round-robin", "balancing policy: round-robin or least-loaded")
+	attackMode := flag.Bool("attack", false, "run the fleet-under-attack scenario instead of the sweep")
+	probes := flag.Int("probes", 5, "attack probes in -attack mode")
+	flag.Parse()
+
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+
+	if *attackMode {
+		opts := experiments.DefaultFleetAttackOptions()
+		opts.RequestsPerEngine = *requests
+		opts.WorkFactor = *workFactor
+		opts.Latency = *latency
+		opts.Policy = policy
+		opts.Probes = *probes
+		r, err := experiments.RunFleetAttack(opts)
+		if err != nil {
+			return err
+		}
+		r.Fprint(os.Stdout)
+		return nil
+	}
+
+	poolSizes, err := parseInts(*pools)
+	if err != nil {
+		return fmt.Errorf("-pools: %w", err)
+	}
+	engineCounts, err := parseInts(*engines)
+	if err != nil {
+		return fmt.Errorf("-engines: %w", err)
+	}
+
+	serverOpts := httpd.DefaultOptions()
+	serverOpts.WorkFactor = *workFactor
+
+	fmt.Printf("Fleet scaling sweep (policy %s, %d requests/engine, work factor %d, latency %v)\n",
+		policy, *requests, *workFactor, *latency)
+	fmt.Printf("%-8s %-9s %12s %10s %10s %10s %8s\n",
+		"pool", "engines", "KB/s", "mean ms", "p95 ms", "p99 ms", "errors")
+	for _, groups := range poolSizes {
+		for _, eng := range engineCounts {
+			m, err := measure(groups, eng, *requests, *latency, policy, serverOpts)
+			if err != nil {
+				return fmt.Errorf("pool %d engines %d: %w", groups, eng, err)
+			}
+			fmt.Printf("%-8d %-9d %12.1f %10.3f %10.3f %10.3f %8d\n",
+				groups, eng, m.ThroughputKBps(),
+				ms(m.MeanLatency()), ms(m.P95Latency), ms(m.P99Latency), m.Errors)
+		}
+	}
+	return nil
+}
+
+// measure runs one cell of the sweep on a fresh fleet.
+func measure(groups, engines, requests int, latency time.Duration, policy fleet.Policy, serverOpts httpd.Options) (webbench.Metrics, error) {
+	f, err := fleet.New(fleet.Options{
+		Groups:  groups,
+		Server:  serverOpts,
+		Policy:  policy,
+		Latency: latency,
+	})
+	if err != nil {
+		return webbench.Metrics{}, err
+	}
+	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{
+		Engines:           engines,
+		RequestsPerEngine: requests,
+	})
+	if err != nil {
+		_, _ = f.Stop()
+		return m, err
+	}
+	stats, err := f.Stop()
+	if err != nil {
+		return m, err
+	}
+	if stats.Detections != 0 {
+		return m, fmt.Errorf("false detection under benign load: %+v", stats)
+	}
+	return m, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func parsePolicy(name string) (fleet.Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return fleet.RoundRobin, nil
+	case "least-loaded", "ll":
+		return fleet.LeastLoaded, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want round-robin or least-loaded)", name)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

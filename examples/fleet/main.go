@@ -1,0 +1,94 @@
+// fleet demonstrates surviving detection: a pool of two-variant UID
+// groups serves traffic through a dispatcher while an attacker mounts
+// the paper's UID-forging attack through the same front port. Each
+// probe is detected at the first use of the forged UID; the fleet
+// quarantines the struck group, appends the alarm to its audit log,
+// and brings up a replacement running freshly selected reexpression
+// functions — watch the audit lines stream as it happens.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"nvariant"
+	"nvariant/internal/attack"
+	"nvariant/internal/vos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("starting a fleet of 3 two-variant UID groups...")
+	f, err := nvariant.NewFleet(nvariant.FleetOptions{
+		Groups:  3,
+		AuditTo: os.Stdout, // stream audit entries as they are appended
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(f.Stats())
+
+	client := f.Client()
+	if code, _, err := client.Get("/index.html"); err != nil || code != 200 {
+		return fmt.Errorf("benign request = %d, %v", code, err)
+	}
+	fmt.Println("\nbenign GET /index.html -> 200 (dispatched to some healthy group)")
+
+	for probe := 1; probe <= 2; probe++ {
+		fmt.Printf("\n--- attack probe %d: overflow forges the worker UID to 0 ---\n", probe)
+		if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+			return fmt.Errorf("overflow: %w", err)
+		}
+
+		// Drive traffic until the struck group uses the forged UID and
+		// its monitor kills it. The connection that triggers detection
+		// drops; every other request keeps being served by the pool.
+		deadline := time.Now().Add(10 * time.Second)
+		for f.Stats().Detections < probe {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("probe %d not detected", probe)
+			}
+			code, body, err := client.Get("/private/secret.html")
+			switch {
+			case err != nil:
+				fmt.Printf("request dropped mid-flight (%v) — the monitor killed the struck group\n", err)
+			case code == 200:
+				return fmt.Errorf("SECRET LEAKED (%d bytes)", len(body))
+			}
+		}
+
+		// Wait for the replacement to come up.
+		if err := f.AwaitReplenished(probe, 3, 10*time.Second); err != nil {
+			return fmt.Errorf("replacement for probe %d: %w", probe, err)
+		}
+		fmt.Println("pool replenished with freshly selected reexpression functions:")
+		fmt.Println(f.Stats())
+	}
+
+	// The fleet still serves normally after the campaign.
+	if code, _, err := client.Get("/index.html"); err != nil || code != 200 {
+		return fmt.Errorf("post-campaign request = %d, %v", code, err)
+	}
+	fmt.Println("\npost-campaign GET /index.html -> 200 (service survived the attack)")
+
+	stats, err := f.Stop()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nfinal state:")
+	fmt.Println(stats)
+	fmt.Printf("\naudit log (%d entries):\n", f.Audit().Len())
+	for _, e := range f.Audit().Entries() {
+		fmt.Println(" ", e)
+	}
+	return nil
+}

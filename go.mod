@@ -1,0 +1,3 @@
+module nvariant
+
+go 1.24

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/fleet"
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/vos"
+	"nvariant/internal/webbench"
+)
+
+// FleetAttackOptions sizes the fleet-under-attack experiment: a pool
+// of N-variant groups serves saturated webbench load while an attacker
+// interleaves UID-forging probes through the same dispatcher.
+type FleetAttackOptions struct {
+	// Groups is the pool size.
+	Groups int
+	// Engines is the concurrent webbench engine count (15 = the
+	// paper's saturated operating point).
+	Engines int
+	// RequestsPerEngine is each engine's request count per phase.
+	RequestsPerEngine int
+	// Probes is the number of UID-forging attack probes in the
+	// campaign.
+	Probes int
+	// WorkFactor is the per-request CPU work in the servers.
+	WorkFactor int
+	// Latency is the simulated one-way wire latency.
+	Latency time.Duration
+	// Policy is the dispatcher's balancing policy.
+	Policy fleet.Policy
+	// SingleCPU pins GOMAXPROCS to 1 (the paper's uniprocessor
+	// testbed). The fleet's scaling story is multi-core, so the
+	// default is off.
+	SingleCPU bool
+	// Seed drives the fleet's reexpression-mask selection.
+	Seed int64
+}
+
+// DefaultFleetAttackOptions returns the standard sizing: a 4-group
+// pool under the paper's saturated 15-engine load with a 5-probe
+// campaign.
+func DefaultFleetAttackOptions() FleetAttackOptions {
+	return FleetAttackOptions{
+		Groups:            4,
+		Engines:           15,
+		RequestsPerEngine: 25,
+		Probes:            5,
+		WorkFactor:        200,
+	}
+}
+
+// FleetAttackReport is the experiment's result: availability and
+// throughput *during* an attack campaign, not just detection.
+type FleetAttackReport struct {
+	// Opts is the sizing used.
+	Opts FleetAttackOptions
+
+	// Baseline is the attack-free defended fleet's load metrics.
+	Baseline webbench.Metrics
+	// Attacked is the defended fleet's load metrics with the campaign
+	// interleaved.
+	Attacked webbench.Metrics
+	// Undefended is an unprotected (configuration 1) fleet's load
+	// metrics under the same campaign.
+	Undefended webbench.Metrics
+
+	// AttackedStats is the defended fleet's final state.
+	AttackedStats fleet.Stats
+	// Audit is the defended fleet's recovery log.
+	Audit []fleet.AuditEntry
+
+	// Detections counts alarmed group exits in the defended fleet.
+	Detections int
+	// DefendedLeaks counts secret disclosures against the defended
+	// fleet (must be 0).
+	DefendedLeaks int
+	// UndefendedLeaks counts secret disclosures observed against the
+	// unprotected fleet (cumulative: struck groups stay corrupted, so
+	// any value >= 1 proves the attack works without diversity).
+	UndefendedLeaks int
+}
+
+// ThroughputRetained is attacked over attack-free throughput of the
+// defended fleet — the availability headline.
+func (r *FleetAttackReport) ThroughputRetained() float64 {
+	return ratio(r.Attacked.ThroughputKBps(), r.Baseline.ThroughputKBps())
+}
+
+// ErrorRate is the fraction of legitimate requests lost during the
+// campaign (connections dropped by monitor kills and quarantine
+// windows).
+func (r *FleetAttackReport) ErrorRate() float64 {
+	total := r.Attacked.Requests + r.Attacked.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Attacked.Errors) / float64(total)
+}
+
+// RunFleetAttack measures a defended fleet attack-free, the same fleet
+// under an interleaved UID-forging campaign, and an undefended fleet
+// under the same campaign.
+func RunFleetAttack(opts FleetAttackOptions) (*FleetAttackReport, error) {
+	if opts.Groups <= 0 || opts.Engines <= 0 || opts.RequestsPerEngine <= 0 || opts.Probes < 0 {
+		return nil, fmt.Errorf("fleetattack: non-positive sizing: %+v", opts)
+	}
+	if opts.SingleCPU {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	report := &FleetAttackReport{Opts: opts}
+
+	// Phase 1: the defended fleet, attack-free.
+	base, _, _, err := runFleetPhase(opts, harness.Config4UIDVariation, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline phase: %w", err)
+	}
+	report.Baseline = base
+
+	// Phase 2: the defended fleet with the campaign interleaved.
+	m, stats, leaks, err := runFleetPhase(opts, harness.Config4UIDVariation, opts.Probes)
+	if err != nil {
+		return nil, fmt.Errorf("attacked phase: %w", err)
+	}
+	report.Attacked = m
+	report.AttackedStats = stats.Stats
+	report.Audit = stats.Audit
+	report.Detections = stats.Stats.Detections
+	report.DefendedLeaks = leaks
+
+	// Phase 3: an undefended fleet under the same campaign.
+	um, _, uleaks, err := runFleetPhase(opts, harness.Config1Unmodified, opts.Probes)
+	if err != nil {
+		return nil, fmt.Errorf("undefended phase: %w", err)
+	}
+	report.Undefended = um
+	report.UndefendedLeaks = uleaks
+
+	return report, nil
+}
+
+// phaseStats bundles a phase's terminal fleet state.
+type phaseStats struct {
+	Stats fleet.Stats
+	Audit []fleet.AuditEntry
+}
+
+// runFleetPhase starts a fleet of the given configuration, applies the
+// webbench load with probes attack probes interleaved, and tears the
+// fleet down.
+func runFleetPhase(opts FleetAttackOptions, cfg harness.Configuration, probes int) (webbench.Metrics, phaseStats, int, error) {
+	serverOpts := httpd.DefaultOptions()
+	serverOpts.WorkFactor = opts.WorkFactor
+	f, err := fleet.New(fleet.Options{
+		Groups:  opts.Groups,
+		Config:  cfg,
+		Server:  serverOpts,
+		Policy:  opts.Policy,
+		Latency: opts.Latency,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return webbench.Metrics{}, phaseStats{}, 0, err
+	}
+
+	type loadResult struct {
+		m   webbench.Metrics
+		err error
+	}
+	loadDone := make(chan loadResult, 1)
+	go func() {
+		m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{
+			Engines:           opts.Engines,
+			RequestsPerEngine: opts.RequestsPerEngine,
+		})
+		loadDone <- loadResult{m, err}
+	}()
+
+	leaks, campErr := runCampaign(f, probes, cfg == harness.Config4UIDVariation)
+	load := <-loadDone
+
+	// Let in-flight replacements finish booting: stopping right after
+	// the last detection would abort its spawn and report a short pool.
+	if campErr == nil && probes > 0 && cfg == harness.Config4UIDVariation {
+		if err := f.AwaitReplenished(probes, opts.Groups, 15*time.Second); err != nil {
+			campErr = fmt.Errorf("pool not replenished after campaign: %w", err)
+		}
+	}
+
+	stats, stopErr := f.Stop()
+	ps := phaseStats{Stats: stats, Audit: f.Audit().Entries()}
+	switch {
+	case campErr != nil:
+		return load.m, ps, leaks, fmt.Errorf("campaign: %w", campErr)
+	case load.err != nil:
+		return load.m, ps, leaks, fmt.Errorf("load: %w", load.err)
+	case stopErr != nil:
+		return load.m, ps, leaks, fmt.Errorf("stop: %w", stopErr)
+	}
+	return load.m, ps, leaks, nil
+}
+
+// runCampaign mounts the two-step UID-forging attack probes times
+// through the dispatcher. Against a defended fleet each probe's
+// corruption must be detected (the struck group alarms at the first
+// use of the forged UID — triggered by the attacker's own follow-up or
+// by benign load, whichever reaches the group first); against an
+// undefended fleet the attacker instead drives triggers until the
+// secret leaks. Returns the number of secret disclosures observed.
+func runCampaign(f *fleet.Fleet, probes int, expectDetection bool) (int, error) {
+	leaks := 0
+	client := f.Client()
+	for i := 0; i < probes; i++ {
+		if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+			return leaks, fmt.Errorf("probe %d overflow: %w", i, err)
+		}
+		if expectDetection {
+			deadline := time.Now().Add(15 * time.Second)
+			for f.Stats().Detections < i+1 {
+				if time.Now().After(deadline) {
+					return leaks, fmt.Errorf("probe %d not detected (detections=%d)", i, f.Stats().Detections)
+				}
+				code, body, err := client.Get("/private/secret.html")
+				if err == nil && code == 200 && httpd.ContainsSecret(body) {
+					leaks++
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			continue
+		}
+		// Undefended: drive triggers until a disclosure is observed.
+		// Corruption persists (nothing ever kills a struck group), so
+		// leaks are cumulative disclosures during the campaign — one
+		// observed per probe-paced round — not proof that *this*
+		// probe's overflow landed. The deadline, rather than a fixed
+		// try count, keeps the loop sound under any balancing policy.
+		leaked := false
+		deadline := time.Now().Add(15 * time.Second)
+		for !leaked {
+			if time.Now().After(deadline) {
+				return leaks, fmt.Errorf("probe %d: no disclosure from undefended fleet", i)
+			}
+			code, body, err := client.Get("/private/secret.html")
+			if err == nil && code == 200 && httpd.ContainsSecret(body) {
+				leaked = true
+				leaks++
+			}
+		}
+	}
+	return leaks, nil
+}
+
+// Fprint renders the report.
+func (r *FleetAttackReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Fleet under attack: %d groups, %d engines x %d requests, %d probes, policy %s\n",
+		r.Opts.Groups, r.Opts.Engines, r.Opts.RequestsPerEngine, r.Opts.Probes, r.Opts.Policy)
+	fmt.Fprintf(w, "  %-34s %s\n", "defended, attack-free:", r.Baseline)
+	fmt.Fprintf(w, "  %-34s %s\n", "defended, under campaign:", r.Attacked)
+	fmt.Fprintf(w, "  %-34s %s\n", "undefended, under campaign:", r.Undefended)
+	fmt.Fprintf(w, "  throughput retained under attack:  %.2f (acceptance: >= 0.50)\n", r.ThroughputRetained())
+	fmt.Fprintf(w, "  legitimate-request error rate:     %.4f\n", r.ErrorRate())
+	fmt.Fprintf(w, "  detections: %d/%d probes; defended leaks: %d; undefended leaks: %d\n",
+		r.Detections, r.Opts.Probes, r.DefendedLeaks, r.UndefendedLeaks)
+	fmt.Fprintf(w, "  fleet: %d spawned, %d quarantined, %d replaced, %d healthy at end\n",
+		r.AttackedStats.Spawned, r.AttackedStats.Quarantined, r.AttackedStats.Replaced, len(r.AttackedStats.Healthy))
+	if len(r.Audit) > 0 {
+		fmt.Fprintln(w, "  audit log:")
+		for _, e := range r.Audit {
+			fmt.Fprintf(w, "    %s\n", e)
+		}
+	}
+}

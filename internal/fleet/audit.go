@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/nvkernel"
+)
+
+// AuditEntry is one record of the fleet's recovery trail: a group left
+// the pool and what the fleet did about it. Alarm-bearing entries are
+// the detected attacks of the evaluation.
+type AuditEntry struct {
+	// Seq is the entry's position in the append-only log (from 1).
+	Seq int
+	// Time is when the fleet processed the group's exit.
+	Time time.Time
+	// GroupID identifies the quarantined group.
+	GroupID int
+	// Port was the group's listening port.
+	Port uint16
+	// Config is the group's Table 3 configuration.
+	Config harness.Configuration
+	// R1 names the group's variant-1 reexpression function.
+	R1 string
+	// Alarm is the monitor's divergence report (nil when the group
+	// exited without one, e.g. a variant fault with no alarm attached).
+	Alarm *nvkernel.Alarm
+	// Detail describes non-alarm exits and replacement failures.
+	Detail string
+	// Action records the recovery taken ("quarantine+replace" in the
+	// steady state; "quarantine" when no replacement was spawned).
+	Action string
+	// ReplacementID is the fresh group's id, or -1 if none was spawned.
+	ReplacementID int
+	// ReplacementR1 names the replacement's newly selected variant-1
+	// function (empty if none).
+	ReplacementR1 string
+}
+
+// String renders the entry as one audit-log line.
+func (e AuditEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s group=%d port=%d config=%q r1=%s",
+		e.Seq, e.Time.Format(time.RFC3339Nano), e.GroupID, e.Port, e.Config, e.R1)
+	if e.Alarm != nil {
+		fmt.Fprintf(&b, " alarm=%s syscall=%s variant=%d", e.Alarm.Reason, e.Alarm.Syscall, e.Alarm.Variant)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " detail=%q", e.Detail)
+	}
+	fmt.Fprintf(&b, " action=%s", e.Action)
+	if e.ReplacementID >= 0 {
+		fmt.Fprintf(&b, " replacement=%d r1'=%s", e.ReplacementID, e.ReplacementR1)
+	}
+	return b.String()
+}
+
+// AuditLog is the fleet's append-only recovery record. Entries are
+// only ever appended, never mutated or removed; Seq numbers are dense
+// and strictly increasing.
+type AuditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+	mirror  io.Writer
+}
+
+// newAuditLog builds a log, optionally mirroring each entry as a line
+// to w (e.g. os.Stderr for the demo, a file for a deployment).
+func newAuditLog(w io.Writer) *AuditLog {
+	return &AuditLog{mirror: w}
+}
+
+// append stamps and stores the entry.
+func (l *AuditLog) append(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.entries) + 1
+	e.Time = time.Now()
+	l.entries = append(l.entries, e)
+	if l.mirror != nil {
+		fmt.Fprintln(l.mirror, e.String())
+	}
+}
+
+// Entries returns a copy of the log.
+func (l *AuditLog) Entries() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AuditEntry(nil), l.entries...)
+}
+
+// Len returns the number of recorded entries.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Alarms returns only the alarm-bearing entries — the detected attacks.
+func (l *AuditLog) Alarms() []AuditEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []AuditEntry
+	for _, e := range l.entries {
+		if e.Alarm != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}

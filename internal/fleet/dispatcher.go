@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"time"
+
+	"nvariant/internal/simnet"
+)
+
+// Policy selects how the dispatcher balances client connections across
+// healthy groups.
+type Policy int
+
+// Balancing policies.
+const (
+	// RoundRobin cycles through the healthy pool in group order.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the group with the fewest in-flight
+	// connections.
+	LeastLoaded
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return "unknown"
+	}
+}
+
+// Dial retry tuning: a quarantined group's port refuses dials for the
+// moment between its kill and its watcher pruning it from the pool, and
+// a pool of one has nothing to serve from until the replacement is up.
+// The dispatcher retries across the pool within this budget before
+// failing the client connection.
+const (
+	dialRetryInterval = 200 * time.Microsecond
+	dialRetryBudget   = 5 * time.Second
+)
+
+// acceptLoop accepts client connections on the front port and hands
+// each to a proxy goroutine. It exits when the front listener closes.
+func (f *Fleet) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.front.Accept()
+		if err != nil {
+			return
+		}
+		f.wg.Add(1)
+		go f.serve(conn)
+	}
+}
+
+// pick chooses a healthy group under the active policy, or nil when
+// the pool is momentarily empty.
+func (f *Fleet) pick() *group {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.groups) == 0 {
+		return nil
+	}
+	switch f.opts.Policy {
+	case LeastLoaded:
+		// Scan from a rotating start so ties round-robin instead of
+		// hot-spotting the lowest-indexed group (sequential clients
+		// would otherwise all land on group 0).
+		n := len(f.groups)
+		start := int(f.rr.Add(1)-1) % n
+		best := f.groups[start]
+		for i := 1; i < n; i++ {
+			g := f.groups[(start+i)%n]
+			if g.inflight.Load() < best.inflight.Load() {
+				best = g
+			}
+		}
+		return best
+	default:
+		return f.groups[int(f.rr.Add(1)-1)%len(f.groups)]
+	}
+}
+
+// pickAndDial selects a group and opens a backend connection to it,
+// retrying across the pool while groups are being replaced.
+func (f *Fleet) pickAndDial() (*group, *simnet.Conn) {
+	deadline := time.Now().Add(dialRetryBudget)
+	for {
+		if g := f.pick(); g != nil {
+			conn, err := f.net.Dial(g.port)
+			if err == nil {
+				return g, conn
+			}
+			// The group's port refused: it is dying or just died; its
+			// watcher will prune it. Fall through to retry.
+		}
+		if f.isClosed() || time.Now().After(deadline) {
+			return nil, nil
+		}
+		time.Sleep(dialRetryInterval)
+	}
+}
+
+// serve proxies one client connection to one backend group. The client
+// is oblivious to pool membership (the paper's monitor already hides
+// the variant count; the dispatcher additionally hides the group). If
+// the monitor kills the group mid-exchange, both sides are torn down,
+// so the client observes exactly what a direct attacker observes: the
+// connection drops with no response.
+func (f *Fleet) serve(client *simnet.Conn) {
+	defer f.wg.Done()
+	defer func() { _ = client.Close() }()
+
+	g, backend := f.pickAndDial()
+	if backend == nil {
+		f.dispatchErrors.Add(1)
+		return
+	}
+	f.dispatched.Add(1)
+	g.inflight.Add(1)
+	g.served.Add(1)
+	defer g.inflight.Add(-1)
+	defer func() { _ = backend.Close() }()
+
+	// No watchdog is needed for group death: the monitor's teardown
+	// closes every accepted connection, and Listener.Close drops
+	// backlog-queued ones, so both pumps unblock on a kill.
+
+	// Request pump: client → backend. Closing the backend on client EOF
+	// propagates end-of-stream to the server (simnet has no half-close,
+	// but the response — if any — has already crossed by the time a
+	// well-behaved client closes).
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer func() { _ = backend.Close() }()
+		for {
+			msg, err := client.Recv()
+			if err != nil || msg == nil {
+				return
+			}
+			if backend.Send(msg) != nil {
+				return
+			}
+		}
+	}()
+
+	// Response pump: backend → client, inline.
+	for {
+		msg, err := backend.Recv()
+		if err != nil || msg == nil {
+			return
+		}
+		if client.Send(msg) != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package fleet scales the paper's single two-variant process group to
+// a pool of M independent N-variant groups behind one dispatcher — the
+// deployment story the paper's monitor needs to *survive* detection.
+//
+// Each pool member is a harness-built Table 3 configuration listening
+// on its own port of a shared simulated network. A front listener
+// load-balances incoming client connections across healthy groups
+// (round-robin or least-loaded). When any group's monitor raises an
+// alarm, the fleet quarantines the group, records the event in an
+// append-only audit log, and spawns a fresh replacement whose UID
+// reexpression functions are newly selected — so a captured-and-killed
+// group tells an attacker nothing about the pool that replaces it, and
+// the service degrades by one group for milliseconds instead of
+// collapsing. Related work quantifies exactly this construction:
+// algorithm/implementation-diverse replica pools degrade gracefully
+// where a monoculture collapses under a single exploit (arXiv:2111.10090,
+// arXiv:1904.12409).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/simnet"
+)
+
+// Default option values.
+const (
+	// DefaultGroups is the default pool size.
+	DefaultGroups = 4
+	// DefaultFrontPort is the dispatcher's client-facing port.
+	DefaultFrontPort uint16 = 80
+	// DefaultBasePort is where group ports are allocated from
+	// (monotonically; ports are never reused across replacements).
+	DefaultBasePort uint16 = 9000
+)
+
+// Options configures a fleet.
+type Options struct {
+	// Groups is the pool size M (default DefaultGroups).
+	Groups int
+	// Config is the per-group Table 3 configuration (default
+	// Config4UIDVariation, the paper's full system).
+	Config harness.Configuration
+	// Server configures the httpd program of every group.
+	Server httpd.Options
+	// Policy selects the balancing policy (default RoundRobin).
+	Policy Policy
+	// FrontPort is the dispatcher's listening port (default
+	// DefaultFrontPort).
+	FrontPort uint16
+	// BasePort is the first group port (default DefaultBasePort).
+	BasePort uint16
+	// Latency is the simulated one-way wire latency of the shared
+	// network.
+	Latency time.Duration
+	// Seed drives reexpression-mask selection; 0 means a fixed default
+	// so runs are reproducible unless explicitly varied.
+	Seed int64
+	// AuditTo optionally mirrors each audit entry as a line (e.g.
+	// os.Stderr for demos).
+	AuditTo io.Writer
+}
+
+// withDefaults fills zero-valued options.
+func (o Options) withDefaults() Options {
+	if o.Groups <= 0 {
+		o.Groups = DefaultGroups
+	}
+	if o.Config == 0 {
+		o.Config = harness.Config4UIDVariation
+	}
+	// Server needs no defaulting: httpd.New fills ConfigPath itself,
+	// and overwriting the struct here would discard caller fields.
+	if o.FrontPort == 0 {
+		o.FrontPort = DefaultFrontPort
+	}
+	if o.BasePort == 0 {
+		o.BasePort = DefaultBasePort
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// errClosed reports an operation against a stopped fleet.
+var errClosed = errors.New("fleet: stopped")
+
+// Fleet is a dispatcher-fronted pool of N-variant server groups with
+// quarantine-on-alarm recovery.
+type Fleet struct {
+	opts  Options
+	net   *simnet.Network
+	front *simnet.Listener
+	audit *AuditLog
+
+	mu          sync.Mutex
+	groups      []*group
+	nextID      int
+	nextPort    uint16
+	spawned     int
+	detections  int
+	quarantined int
+	replaced    int
+	closed      bool
+
+	// rngMu guards rng separately from mu: mask selection scans a
+	// ~65k-sample corpus and must not stall the dispatcher's pick().
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	rr             atomic.Uint64
+	dispatched     atomic.Int64
+	dispatchErrors atomic.Int64
+	wg             sync.WaitGroup
+}
+
+// New builds the pool, starts every group, and begins dispatching on
+// the front port. Group 0 runs the paper's published reexpression pair;
+// every further group (initial or replacement) runs freshly selected
+// functions, so the pool is representation-diverse from the start.
+func New(opts Options) (*Fleet, error) {
+	opts = opts.withDefaults()
+	if opts.FrontPort >= opts.BasePort {
+		return nil, fmt.Errorf("fleet: front port %d must be below base port %d", opts.FrontPort, opts.BasePort)
+	}
+	f := &Fleet{
+		opts:     opts,
+		net:      simnet.New(opts.Latency),
+		audit:    newAuditLog(opts.AuditTo),
+		nextPort: opts.BasePort,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	for i := 0; i < opts.Groups; i++ {
+		if _, err := f.spawn(); err != nil {
+			_, _ = f.Stop()
+			return nil, fmt.Errorf("fleet: start group %d: %w", i, err)
+		}
+	}
+	front, err := f.net.Listen(opts.FrontPort)
+	if err != nil {
+		_, _ = f.Stop()
+		return nil, fmt.Errorf("fleet: front listener: %w", err)
+	}
+	f.front = front
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// spawn starts one fresh group and registers it in the pool.
+func (f *Fleet) spawn() (*group, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, errClosed
+	}
+	id := f.nextID
+	f.nextID++
+	port := f.nextPort
+	if port < f.opts.BasePort {
+		// nextPort wrapped the uint16 space (≈56k replacements):
+		// continuing would collide with the front port or remap to the
+		// default. Fail the spawn; the audit log records it.
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: group port space exhausted")
+	}
+	f.nextPort++
+	f.mu.Unlock()
+
+	// Select the pair and build outside the lock: mask selection and
+	// group startup both take real time, and dispatch must keep
+	// flowing to the survivors meanwhile. Only the UID-variation
+	// configuration runs a selectable pair; other configurations must
+	// not advertise functions they don't deploy.
+	pair := reexpress.Pair{R0: reexpress.Identity{}, R1: reexpress.Identity{}}
+	r1 := "(none)"
+	var specPair *reexpress.Pair
+	switch f.opts.Config {
+	case harness.Config4UIDVariation:
+		if id == 0 {
+			pair = reexpress.UIDVariation().Pair
+		} else {
+			f.rngMu.Lock()
+			pair = SelectPair(f.rng)
+			f.rngMu.Unlock()
+		}
+		specPair = &pair
+		r1 = pair.R1.Name()
+	case harness.Config3AddressSpace:
+		r1 = pair.R1.Name() // two variants on identity contents
+	}
+	h, err := harness.StartSpec(f.net, f.specFor(port, specPair))
+	if err != nil {
+		return nil, err
+	}
+	g := &group{id: id, port: port, pair: pair, r1: r1, handle: h}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		_, _ = h.Stop()
+		return nil, errClosed
+	}
+	f.groups = append(f.groups, g)
+	f.spawned++
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	go f.watch(g)
+	return g, nil
+}
+
+// watch waits for the group to terminate and runs recovery.
+func (f *Fleet) watch(g *group) {
+	defer f.wg.Done()
+	<-g.handle.Done()
+	f.groupExited(g)
+}
+
+// groupExited is the quarantine path: prune the group, account the
+// alarm, spawn a replacement, and append the audit record. A clean
+// exit during fleet shutdown is the one case that leaves no trace.
+func (f *Fleet) groupExited(g *group) {
+	res, err := g.handle.Result()
+	alarmed := res != nil && res.Alarm != nil
+	clean := err == nil && res != nil && res.Clean
+
+	f.mu.Lock()
+	stopping := f.closed
+	if alarmed {
+		f.detections++
+	}
+	if !stopping {
+		// During shutdown the roster is frozen so the final Stats
+		// report the pool as it stood; while serving, a dead group is
+		// pruned immediately so the dispatcher stops picking it.
+		f.removeLocked(g)
+		if alarmed || !clean {
+			f.quarantined++
+		}
+	}
+	f.mu.Unlock()
+
+	if stopping {
+		if alarmed {
+			// An attack raced fleet shutdown: still record it.
+			entry := f.entryFor(g, "quarantine (fleet stopping)")
+			entry.Alarm = res.Alarm
+			f.audit.append(entry)
+		}
+		return
+	}
+
+	act := "quarantine"
+	entry := f.entryFor(g, act)
+	switch {
+	case alarmed:
+		entry.Alarm = res.Alarm
+	case clean:
+		// e.g. a MaxConns server finishing its budget: not an attack,
+		// but the slot still needs refilling.
+		act = "departed"
+		entry.Action = act
+		entry.Detail = "clean exit"
+	case err != nil:
+		entry.Detail = err.Error()
+	default:
+		entry.Detail = "group exited without result"
+	}
+
+	repl, spawnErr := f.spawn()
+	switch {
+	case spawnErr == nil:
+		f.mu.Lock()
+		f.replaced++
+		f.mu.Unlock()
+		entry.Action = act + "+replace"
+		entry.ReplacementID = repl.id
+		entry.ReplacementR1 = repl.r1
+	case errors.Is(spawnErr, errClosed):
+		// Shutdown won the race; the bare record is right.
+	default:
+		entry.Detail = joinDetail(entry.Detail, "replacement failed: "+spawnErr.Error())
+	}
+	f.audit.append(entry)
+}
+
+// entryFor builds the base audit record for a departed group; callers
+// fill Alarm/Detail.
+func (f *Fleet) entryFor(g *group, action string) AuditEntry {
+	return AuditEntry{
+		GroupID:       g.id,
+		Port:          g.port,
+		Config:        f.opts.Config,
+		R1:            g.r1,
+		Action:        action,
+		ReplacementID: -1,
+	}
+}
+
+func joinDetail(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
+}
+
+// removeLocked prunes g from the healthy pool. Caller holds f.mu.
+func (f *Fleet) removeLocked(g *group) {
+	for i, cur := range f.groups {
+		if cur == g {
+			f.groups = append(f.groups[:i], f.groups[i+1:]...)
+			return
+		}
+	}
+}
+
+// isClosed reports whether Stop has begun.
+func (f *Fleet) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// Net returns the shared network clients dial.
+func (f *Fleet) Net() *simnet.Network { return f.net }
+
+// Port returns the dispatcher's client-facing port.
+func (f *Fleet) Port() uint16 { return f.opts.FrontPort }
+
+// Client returns an HTTP client aimed at the dispatcher.
+func (f *Fleet) Client() *httpd.Client { return httpd.NewClient(f.net, f.opts.FrontPort) }
+
+// Audit returns the fleet's append-only recovery log.
+func (f *Fleet) Audit() *AuditLog { return f.audit }
+
+// Stats snapshots fleet health and dispatch counters.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Stats{
+		Policy:         f.opts.Policy,
+		Spawned:        f.spawned,
+		Detections:     f.detections,
+		Quarantined:    f.quarantined,
+		Replaced:       f.replaced,
+		Dispatched:     f.dispatched.Load(),
+		DispatchErrors: f.dispatchErrors.Load(),
+	}
+	for _, g := range f.groups {
+		s.Healthy = append(s.Healthy, GroupStat{
+			ID:       g.id,
+			Port:     g.port,
+			R1:       g.r1,
+			Inflight: g.inflight.Load(),
+			Served:   g.served.Load(),
+		})
+	}
+	return s
+}
+
+// Await polls Stats until cond holds or timeout elapses. Recovery is
+// asynchronous — a detection is counted before its replacement group
+// registers — so callers that need a settled pool (e.g. before Stop)
+// wait on the counters explicitly.
+func (f *Fleet) Await(cond func(Stats) bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s := f.Stats()
+		if cond(s) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: condition not met within %v: %+v", timeout, s)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// AwaitReplenished waits until at least replaced replacements have
+// registered and the healthy pool is back to size groups.
+func (f *Fleet) AwaitReplenished(replaced, groups int, timeout time.Duration) error {
+	return f.Await(func(s Stats) bool {
+		return s.Replaced >= replaced && len(s.Healthy) >= groups
+	}, timeout)
+}
+
+// Stop shuts the dispatcher and every group down, waits for all fleet
+// goroutines, and returns the final stats. Groups that die with an
+// alarm during shutdown are still counted and audited.
+func (f *Fleet) Stop() (Stats, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return f.Stats(), errClosed
+	}
+	f.closed = true
+	groups := append([]*group(nil), f.groups...)
+	f.mu.Unlock()
+
+	if f.front != nil {
+		// Close also drops connections still queued in the backlog, so
+		// no client is left blocking in Recv.
+		_ = f.front.Close()
+	}
+	var firstErr error
+	for _, g := range groups {
+		if _, err := g.handle.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.wg.Wait()
+	return f.Stats(), firstErr
+}

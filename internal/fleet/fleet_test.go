@@ -1,0 +1,285 @@
+package fleet_test
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/experiments"
+	"nvariant/internal/fleet"
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/nvkernel"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/vos"
+	"nvariant/internal/webbench"
+	"nvariant/internal/word"
+)
+
+func startFleet(t *testing.T, opts fleet.Options) *fleet.Fleet {
+	t.Helper()
+	f, err := fleet.New(opts)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	return f
+}
+
+func TestFleetServesBenignLoad(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 3})
+	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{Engines: 6, RequestsPerEngine: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d under benign load", m.Errors)
+	}
+	if m.Requests != 60 {
+		t.Errorf("requests = %d, want 60", m.Requests)
+	}
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detections != 0 || stats.Quarantined != 0 || stats.Replaced != 0 {
+		t.Errorf("benign load caused recovery actions: %+v", stats)
+	}
+	if stats.Spawned != 3 {
+		t.Errorf("spawned = %d, want 3", stats.Spawned)
+	}
+	// Round-robin must have spread connections across the whole pool.
+	for _, g := range stats.Healthy {
+		if g.Served == 0 {
+			t.Errorf("group %d served no connections under round-robin", g.ID)
+		}
+	}
+	if f.Audit().Len() != 0 {
+		t.Errorf("audit entries under benign load: %v", f.Audit().Entries())
+	}
+}
+
+func TestFleetLeastLoadedPolicy(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 2, Policy: fleet.LeastLoaded})
+	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{Engines: 4, RequestsPerEngine: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d", m.Errors)
+	}
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, g := range stats.Healthy {
+		total += g.Served
+		// Ties must rotate: with equal load no group may be starved.
+		if g.Served == 0 {
+			t.Errorf("group %d served no connections under least-loaded", g.ID)
+		}
+	}
+	if total < 32 {
+		t.Errorf("served %d connections, want >= 32", total)
+	}
+}
+
+func TestFleetPoolIsRepresentationDiverse(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 4})
+	defer func() { _, _ = f.Stop() }()
+	stats := f.Stats()
+	if len(stats.Healthy) != 4 {
+		t.Fatalf("healthy = %d, want 4", len(stats.Healthy))
+	}
+	seen := map[string]bool{}
+	for _, g := range stats.Healthy {
+		if seen[g.R1] {
+			t.Errorf("duplicate R1 %q in initial pool", g.R1)
+		}
+		seen[g.R1] = true
+	}
+	// Group 0 runs the paper's published mask.
+	if stats.Healthy[0].R1 != reexpress.UIDVariation().Pair.R1.Name() {
+		t.Errorf("group 0 R1 = %q, want the paper's pair", stats.Healthy[0].R1)
+	}
+}
+
+func TestFleetQuarantineAndReplacement(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 2})
+	client := f.Client()
+
+	// Benign sanity check through the dispatcher.
+	if code, _, err := client.Get("/index.html"); err != nil || code != 200 {
+		t.Fatalf("benign request = %d, %v", code, err)
+	}
+
+	// Step 1: the overflow probe corrupts one group's worker UID.
+	if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+		t.Fatalf("overflow: %v", err)
+	}
+
+	// Step 2: drive requests until the struck group uses the forged
+	// UID and the monitor kills it.
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Stats().Detections == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("attack not detected")
+		}
+		code, body, err := client.Get("/private/secret.html")
+		if err == nil && code == 200 && httpd.ContainsSecret(body) {
+			t.Fatal("secret leaked through the fleet")
+		}
+	}
+
+	// The replacement must come up and the fleet keep serving.
+	if err := f.AwaitReplenished(1, 2, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if code, _, err := client.Get("/index.html"); err != nil || code != 200 {
+			t.Fatalf("post-recovery request %d = %d, %v", i, code, err)
+		}
+	}
+
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detections != 1 || stats.Quarantined != 1 || stats.Replaced != 1 || stats.Spawned != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	entries := f.Audit().Entries()
+	if len(entries) != 1 {
+		t.Fatalf("audit entries = %d, want 1: %v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Alarm == nil || e.Alarm.Reason != nvkernel.ReasonUIDDivergence {
+		t.Errorf("audit alarm = %+v, want uid-divergence", e.Alarm)
+	}
+	if e.Action != "quarantine+replace" || e.ReplacementID < 0 {
+		t.Errorf("audit action = %q replacement = %d", e.Action, e.ReplacementID)
+	}
+	if e.ReplacementR1 == e.R1 {
+		t.Errorf("replacement reuses the dead group's functions: %q", e.R1)
+	}
+}
+
+// TestFleetUnderSaturatedAttackCampaign is the acceptance scenario: a
+// 4-group fleet serves the paper's saturated 15-engine load while a
+// UID-forging campaign runs through the same dispatcher. Every probe
+// must be detected, every struck group quarantined and replaced with
+// an audit record, the secret must never leak, and throughput must
+// stay within 2x of the attack-free baseline.
+func TestFleetUnderSaturatedAttackCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	opts := experiments.DefaultFleetAttackOptions()
+	opts.Groups = 4
+	opts.Engines = 15
+	opts.RequestsPerEngine = 20
+	opts.Probes = 4
+	opts.WorkFactor = 200
+
+	r, err := experiments.RunFleetAttack(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r.Detections != opts.Probes {
+		t.Errorf("detections = %d, want %d (every probe detected)", r.Detections, opts.Probes)
+	}
+	if r.DefendedLeaks != 0 {
+		t.Errorf("secret leaked %d times through the defended fleet", r.DefendedLeaks)
+	}
+	if r.UndefendedLeaks < 1 {
+		t.Errorf("undefended leaks = %d, want >= 1 (the attack works without diversity)", r.UndefendedLeaks)
+	}
+	if got := r.AttackedStats.Quarantined; got != opts.Probes {
+		t.Errorf("quarantined = %d, want %d", got, opts.Probes)
+	}
+	if got := r.AttackedStats.Replaced; got != opts.Probes {
+		t.Errorf("replaced = %d, want %d", got, opts.Probes)
+	}
+	if got := len(r.AttackedStats.Healthy); got != opts.Groups {
+		t.Errorf("healthy at end = %d, want %d (pool replenished)", got, opts.Groups)
+	}
+
+	// The audit log records each alarm.
+	alarmed := 0
+	for _, e := range r.Audit {
+		if e.Alarm != nil {
+			alarmed++
+			if e.Alarm.Reason != nvkernel.ReasonUIDDivergence {
+				t.Errorf("audit alarm reason = %v", e.Alarm.Reason)
+			}
+		}
+	}
+	if alarmed != opts.Probes {
+		t.Errorf("audit records %d alarms, want %d", alarmed, opts.Probes)
+	}
+
+	if retained := r.ThroughputRetained(); retained < 0.5 {
+		t.Errorf("throughput retained = %.2f, want >= 0.5 (within 2x of baseline)\nbaseline: %v\nattacked: %v",
+			retained, r.Baseline, r.Attacked)
+	}
+	// Lost requests are bounded by in-flight work on killed groups.
+	if rate := r.ErrorRate(); rate > 0.25 {
+		t.Errorf("error rate = %.3f, want <= 0.25", rate)
+	}
+}
+
+func TestSelectPairProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := map[word.Word]bool{}
+	for i := 0; i < 50; i++ {
+		pair := fleet.SelectPair(rng)
+		xm, ok := pair.R1.(reexpress.XORMask)
+		if !ok {
+			t.Fatalf("R1 = %T, want XORMask", pair.R1)
+		}
+		if xm.Mask&word.HighBit != 0 {
+			t.Errorf("mask %s has the sign bit set", xm.Mask)
+		}
+		if bits.OnesCount32(uint32(xm.Mask)) < 16 {
+			t.Errorf("mask %s flips fewer than 16 bits", xm.Mask)
+		}
+		for b := 0; b < word.Size; b++ {
+			if byt, _ := xm.Mask.Byte(b); byt == 0 {
+				t.Errorf("mask %s has zero byte %d (single-byte overwrites there would go undetected)", xm.Mask, b)
+			}
+		}
+		if err := reexpress.CheckPair(pair, reexpress.BoundarySamples()); err != nil {
+			t.Errorf("selected pair fails properties: %v", err)
+		}
+		seen[xm.Mask] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct masks in 50 draws", len(seen))
+	}
+}
+
+func TestFleetStopIdempotent(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 1})
+	if _, err := f.Stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	if _, err := f.Stop(); err == nil {
+		t.Error("second stop did not report the fleet as stopped")
+	}
+}
+
+func TestFleetRejectsBadPorts(t *testing.T) {
+	if _, err := fleet.New(fleet.Options{FrontPort: 9500, BasePort: 9000}); err == nil {
+		t.Error("front port inside the group range accepted")
+	}
+}
+
+func TestFleetUnknownConfigFails(t *testing.T) {
+	if _, err := fleet.New(fleet.Options{Config: harness.Configuration(99)}); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+}

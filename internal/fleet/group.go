@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/word"
+)
+
+// boundarySamples caches the ~65k-word property-check corpus: it is
+// read-only and rebuilding it per replacement draw would be pure
+// allocation churn.
+var boundarySamples = sync.OnceValue(reexpress.BoundarySamples)
+
+// group is one pool member: a running N-variant process group plus the
+// bookkeeping the dispatcher's balancing policies read.
+type group struct {
+	// id is the fleet-unique group number (never reused, so the audit
+	// log can refer to dead groups unambiguously).
+	id int
+	// port is the group's private listening port on the shared network.
+	port uint16
+	// pair is the group's UID reexpression pair (identity pair for
+	// configurations that don't run the UID variation).
+	pair reexpress.Pair
+	// r1 names the variant-1 reexpression function actually deployed
+	// ("(none)" for single-variant configurations).
+	r1 string
+	// handle controls the running process group.
+	handle *harness.Handle
+	// inflight counts connections currently proxied to the group.
+	inflight atomic.Int64
+	// served counts connections ever dispatched to the group.
+	served atomic.Int64
+}
+
+// minMaskBits is the smallest acceptable popcount for a freshly
+// selected UID mask. The paper's mask flips 31 bits; demanding at
+// least half the word keeps the expected detection probability for
+// random partial overwrites high.
+const minMaskBits = 16
+
+// SelectPair draws a fresh UID variation pair: R₀ = identity and
+// R₁ = XOR with a randomly selected mask. The mask keeps the paper's
+// sign-bit exclusion (so the kernel's negative-UID special cases, e.g.
+// NoChange, stay outside the diversified range), has every byte
+// nonzero (so single-byte overwrites diverge in any position), and
+// flips at least minMaskBits bits. The selected pair is verified
+// against the §2.2/§2.3 inverse and disjointness properties before
+// use; selection falls back to the paper's published mask if the draw
+// repeatedly fails (which would indicate a bug, not bad luck).
+func SelectPair(rng *rand.Rand) reexpress.Pair {
+	for attempt := 0; attempt < 64; attempt++ {
+		var b [word.Size]byte
+		for i := 0; i < word.Size; i++ {
+			b[i] = byte(1 + rng.Intn(255))
+		}
+		b[word.Size-1] &= 0x7F // clear the sign bit
+		if b[word.Size-1] == 0 {
+			continue
+		}
+		mask := word.FromBytes(b)
+		if bits.OnesCount32(uint32(mask)) < minMaskBits {
+			continue
+		}
+		pair := reexpress.Pair{R0: reexpress.Identity{}, R1: reexpress.XORMask{Mask: mask}}
+		if err := reexpress.CheckPair(pair, boundarySamples()); err != nil {
+			continue
+		}
+		return pair
+	}
+	return reexpress.UIDVariation().Pair
+}
+
+// specFor builds the restartable group description for a pool slot.
+func (f *Fleet) specFor(port uint16, pair *reexpress.Pair) harness.GroupSpec {
+	return harness.GroupSpec{
+		Config: f.opts.Config,
+		Server: f.opts.Server,
+		Port:   port,
+		Pair:   pair,
+	}
+}
+
+// String identifies the group in logs.
+func (g *group) String() string {
+	return fmt.Sprintf("group %d (port %d, R1=%s)", g.id, g.port, g.r1)
+}

@@ -1,0 +1,124 @@
+package fleet_test
+
+// Race regression tests for the fleet's hot path: concurrent dispatch
+// through the front port while attack-triggered quarantine/replacement
+// churns the pool and observers read stats and the audit log. Run with
+// -race (CI does).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/fleet"
+	"nvariant/internal/vos"
+)
+
+func TestFleetConcurrentDispatchRace(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 3})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Legitimate clients hammering the dispatcher.
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := f.Client()
+			for i := 0; i < 25; i++ {
+				_, _, _ = client.Get("/index.html")
+			}
+		}()
+	}
+
+	// An attacker interleaving probes (forcing quarantine churn).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := f.Client()
+		for i := 0; i < 2; i++ {
+			_, _ = client.Raw(attack.ForgeUIDPayload(vos.Root))
+			deadline := time.Now().Add(10 * time.Second)
+			for f.Stats().Detections < i+1 && time.Now().Before(deadline) {
+				_, _, _ = client.Get("/private/secret.html")
+			}
+		}
+	}()
+
+	// Observers reading stats and audit concurrently (stopped after
+	// the clients and attacker are done).
+	var obsWg sync.WaitGroup
+	for o := 0; o < 2; o++ {
+		obsWg.Add(1)
+		go func() {
+			defer obsWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = f.Stats().String()
+					_ = f.Audit().Entries()
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent dispatch did not finish")
+	}
+	close(stop)
+	obsWg.Wait()
+
+	// Detection is counted before the replacement registers; wait for
+	// the pool to settle so the final roster assertion isn't racy.
+	if err := f.AwaitReplenished(2, 3, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detections != 2 {
+		t.Errorf("detections = %d, want 2", stats.Detections)
+	}
+	if len(stats.Healthy) != 3 {
+		t.Errorf("healthy at end = %d, want 3", len(stats.Healthy))
+	}
+}
+
+func TestFleetStopDuringDispatchRace(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 2})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := f.Client()
+			for i := 0; i < 50; i++ {
+				if _, _, err := client.Get("/index.html"); err != nil {
+					return // fleet is stopping; drops are expected
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if _, err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("clients hung after fleet stop")
+	}
+}

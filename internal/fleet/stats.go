@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroupStat describes one healthy pool member at snapshot time.
+type GroupStat struct {
+	// ID is the group's fleet-unique number.
+	ID int
+	// Port is the group's listening port.
+	Port uint16
+	// R1 names the group's variant-1 reexpression function.
+	R1 string
+	// Inflight is the number of connections currently proxied to it.
+	Inflight int64
+	// Served is the number of connections ever dispatched to it.
+	Served int64
+}
+
+// Stats is a point-in-time snapshot of fleet health and dispatch
+// counters — the availability numbers the attack experiments report.
+type Stats struct {
+	// Policy is the active balancing policy.
+	Policy Policy
+	// Healthy lists the current pool members (after Stop: the roster
+	// as it stood at shutdown).
+	Healthy []GroupStat
+	// Spawned counts groups ever started (initial pool + replacements).
+	Spawned int
+	// Detections counts group exits with a monitor alarm.
+	Detections int
+	// Quarantined counts groups removed from the pool (alarmed or
+	// otherwise failed) while the fleet was serving.
+	Quarantined int
+	// Replaced counts fresh groups spawned to fill quarantined slots.
+	Replaced int
+	// Dispatched counts client connections proxied to a group.
+	Dispatched int64
+	// DispatchErrors counts client connections the dispatcher could not
+	// place on any healthy group.
+	DispatchErrors int64
+}
+
+// String renders a one-line fleet summary plus a per-group table.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d dispatched (%d errors)",
+		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Dispatched, s.DispatchErrors)
+	for _, g := range s.Healthy {
+		fmt.Fprintf(&b, "\n  group %d port=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.R1, g.Inflight, g.Served)
+	}
+	return b.String()
+}

@@ -58,13 +58,53 @@ func (c Configuration) Variants() int {
 	return 1
 }
 
+// GroupSpec fully describes one server group so it can be rebuilt from
+// scratch — the unit a fleet restarts after quarantining a compromised
+// group.
+type GroupSpec struct {
+	// Config selects the Table 3 configuration.
+	Config Configuration
+	// Server configures the httpd program (identical across variants).
+	Server httpd.Options
+	// Port is the listening port (0 means httpd.DefaultPort). Distinct
+	// groups on a shared network need distinct ports.
+	Port uint16
+	// Pair overrides the UID reexpression pair for Config4UIDVariation
+	// (nil means the paper's UIDVariation pair). Fleet replacements use
+	// this to come back with freshly selected functions.
+	Pair *reexpress.Pair
+}
+
+// port returns the effective listening port.
+func (s GroupSpec) port() uint16 {
+	if s.Port == 0 {
+		return httpd.DefaultPort
+	}
+	return s.Port
+}
+
+// uidPair returns the effective Config4 reexpression pair.
+func (s GroupSpec) uidPair() reexpress.Pair {
+	if s.Pair != nil {
+		return *s.Pair
+	}
+	return reexpress.UIDVariation().Pair
+}
+
 // Build prepares the world and returns the variant programs plus
 // kernel options for the configuration.
 func Build(c Configuration, world *vos.World, serverOpts httpd.Options) ([]sys.Program, []nvkernel.Option, error) {
-	if err := httpd.SetupWorld(world); err != nil {
+	return BuildSpec(world, GroupSpec{Config: c, Server: serverOpts})
+}
+
+// BuildSpec prepares the world for a group spec and returns the variant
+// programs plus kernel options.
+func BuildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Option, error) {
+	if err := httpd.SetupWorldAt(world, spec.port()); err != nil {
 		return nil, nil, err
 	}
-	switch c {
+	serverOpts := spec.Server
+	switch spec.Config {
 	case Config1Unmodified:
 		return []sys.Program{httpd.New(serverOpts, httpd.Consts{Root: vos.Root})}, nil, nil
 
@@ -92,7 +132,7 @@ func Build(c Configuration, world *vos.World, serverOpts httpd.Options) ([]sys.P
 		return progs, opts, nil
 
 	case Config4UIDVariation:
-		pair := reexpress.UIDVariation().Pair
+		pair := spec.uidPair()
 		if err := nvkernel.SetupUnsharedPasswd(world, pair.Funcs()); err != nil {
 			return nil, nil, err
 		}
@@ -108,7 +148,7 @@ func Build(c Configuration, world *vos.World, serverOpts httpd.Options) ([]sys.P
 		return progs, opts, nil
 
 	default:
-		return nil, nil, fmt.Errorf("harness: unknown configuration %d", c)
+		return nil, nil, fmt.Errorf("harness: unknown configuration %d", spec.Config)
 	}
 }
 
@@ -138,12 +178,27 @@ func Start(c Configuration, serverOpts httpd.Options, latency time.Duration, kop
 
 // StartOn launches the configuration on an existing world and network.
 func StartOn(world *vos.World, net *simnet.Network, c Configuration, serverOpts httpd.Options, extra ...nvkernel.Option) (*Handle, error) {
-	progs, kopts, err := Build(c, world, serverOpts)
+	return StartSpecOn(world, net, GroupSpec{Config: c, Server: serverOpts}, extra...)
+}
+
+// StartSpec launches a group spec on a fresh world over an existing
+// network — the fleet's way of (re)building a group.
+func StartSpec(net *simnet.Network, spec GroupSpec, extra ...nvkernel.Option) (*Handle, error) {
+	world, err := vos.NewWorld()
+	if err != nil {
+		return nil, err
+	}
+	return StartSpecOn(world, net, spec, extra...)
+}
+
+// StartSpecOn launches a group spec on an existing world and network.
+func StartSpecOn(world *vos.World, net *simnet.Network, spec GroupSpec, extra ...nvkernel.Option) (*Handle, error) {
+	progs, kopts, err := BuildSpec(world, spec)
 	if err != nil {
 		return nil, err
 	}
 	kopts = append(kopts, extra...)
-	h := &Handle{World: world, Net: net, Port: 8080, done: make(chan struct{})}
+	h := &Handle{World: world, Net: net, Port: spec.port(), done: make(chan struct{})}
 	go func() {
 		defer close(h.done)
 		h.res, h.err = nvkernel.Run(world, net, progs, kopts...)
@@ -195,4 +250,20 @@ func (h *Handle) Wait() (*nvkernel.Result, error) {
 		return nil, fmt.Errorf("harness: server did not terminate")
 	}
 	return h.res, h.err
+}
+
+// Done returns a channel that is closed when the group terminates —
+// for supervisors (the fleet) that must react to an alarm kill without
+// blocking in Wait.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result returns the terminal run result. It is valid only after Done
+// is closed; before that it returns nil, nil.
+func (h *Handle) Result() (*nvkernel.Result, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	default:
+		return nil, nil
+	}
 }

@@ -1,0 +1,70 @@
+package harness
+
+// Race regression test for concurrent Handle lifecycle use: the fleet
+// supervises handles from watcher goroutines while benchmarks and
+// tests call Stop/Wait/Result from others. Run with -race (CI does).
+
+import (
+	"sync"
+	"testing"
+
+	"nvariant/internal/httpd"
+)
+
+func TestConcurrentStopWaitRace(t *testing.T) {
+	h := startConfig(t, Config4UIDVariation, httpd.DefaultOptions())
+
+	// A few clients in flight while the handle is torn down from many
+	// goroutines at once.
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := h.Client()
+			for i := 0; i < 5; i++ {
+				_, _, _ = cl.Get("/index.html")
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := h.Stop(); err != nil {
+				t.Errorf("concurrent Stop: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := h.Wait(); err != nil {
+				t.Errorf("concurrent Wait: %v", err)
+			}
+			<-h.Done()
+			_, _ = h.Result()
+		}()
+	}
+	wg.Wait()
+
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alarm != nil {
+		t.Errorf("alarm under concurrent teardown: %+v", res.Alarm)
+	}
+}
+
+func TestResultBeforeDone(t *testing.T) {
+	h := startConfig(t, Config1Unmodified, httpd.DefaultOptions())
+	if res, err := h.Result(); res != nil || err != nil {
+		t.Errorf("Result before termination = %v, %v; want nil, nil", res, err)
+	}
+	if _, err := h.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := h.Result(); res == nil {
+		t.Error("Result after Stop is nil")
+	}
+}

@@ -24,16 +24,25 @@ type ServerConfig struct {
 // DefaultConfigPath is where the server looks for its configuration.
 const DefaultConfigPath = "/etc/httpd.conf"
 
+// DefaultPort is the stock Listen port.
+const DefaultPort uint16 = 8080
+
 // DefaultConfigFile renders the stock configuration used by the
 // experiments.
 func DefaultConfigFile() []byte {
-	return []byte(`# mini-httpd configuration (Apache directive subset)
-Listen 8080
+	return ConfigFileForPort(DefaultPort)
+}
+
+// ConfigFileForPort renders the stock configuration with an explicit
+// Listen port.
+func ConfigFileForPort(port uint16) []byte {
+	return []byte(fmt.Sprintf(`# mini-httpd configuration (Apache directive subset)
+Listen %d
 User wwwrun
 Group www
 DocumentRoot /var/www
 ErrorLog /var/log/httpd-error_log
-`)
+`, port))
 }
 
 // ParseConfig parses an Apache-style directive file.

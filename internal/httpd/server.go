@@ -435,8 +435,15 @@ func (st *state) logf(format string, args ...any) error {
 
 // SetupWorld installs the server's configuration file into a world.
 func SetupWorld(w *vos.World) error {
+	return SetupWorldAt(w, DefaultPort)
+}
+
+// SetupWorldAt installs the configuration file with a Listen directive
+// for the given port, so independent server groups (e.g. members of a
+// fleet) can share one network without colliding.
+func SetupWorldAt(w *vos.World, port uint16) error {
 	root := vos.CredFor(vos.Root, 0)
-	if err := w.FS.WriteFile(DefaultConfigPath, DefaultConfigFile(), 0644, root); err != nil {
+	if err := w.FS.WriteFile(DefaultConfigPath, ConfigFileForPort(port), 0644, root); err != nil {
 		return fmt.Errorf("install httpd.conf: %w", err)
 	}
 	return nil

@@ -69,7 +69,8 @@ func (n *Network) Listen(port uint16) (*Listener, error) {
 }
 
 // Dial connects to the listener on port, returning the client side of
-// the connection.
+// the connection. A full backlog refuses the connection (SYN-queue
+// overflow).
 func (n *Network) Dial(port uint16) (*Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[port]
@@ -78,11 +79,19 @@ func (n *Network) Dial(port uint16) (*Conn, error) {
 		return nil, fmt.Errorf("dial %d: %w", port, ErrRefused)
 	}
 	client, server := newPair(n)
+	// Enqueue under the listener lock so a connection can never slip
+	// into the backlog after Close has drained it — a raced conn would
+	// otherwise strand its dialer in Recv forever.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.isClosed {
+		return nil, fmt.Errorf("dial %d: %w", port, ErrRefused)
+	}
 	select {
 	case l.accept <- server:
 		return client, nil
-	case <-l.closed:
-		return nil, fmt.Errorf("dial %d: %w", port, ErrRefused)
+	default:
+		return nil, fmt.Errorf("dial %d: backlog full: %w", port, ErrRefused)
 	}
 }
 
@@ -107,6 +116,9 @@ type Listener struct {
 	accept    chan *Conn
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	mu       sync.Mutex
+	isClosed bool
 }
 
 // Port returns the listening port.
@@ -128,13 +140,26 @@ func (l *Listener) Accept() (*Conn, error) {
 	}
 }
 
-// Close releases the port and unblocks pending Accept calls.
+// Close releases the port, unblocks pending Accept calls, and closes
+// connections still queued in the backlog — their dialers observe a
+// drop (as from a crashed server) instead of hanging.
 func (l *Listener) Close() error {
 	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.isClosed = true
 		close(l.closed)
+		l.mu.Unlock()
 		l.net.mu.Lock()
 		delete(l.net.listeners, l.port)
 		l.net.mu.Unlock()
+		for {
+			select {
+			case c := <-l.accept:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

@@ -279,3 +279,66 @@ func TestConcurrentClients(t *testing.T) {
 	wg.Wait()
 	serverWG.Wait()
 }
+
+func TestDialAfterCloseRefused(t *testing.T) {
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial(80); !errors.Is(err, ErrRefused) {
+		t.Errorf("dial after close = %v, want ErrRefused", err)
+	}
+}
+
+func TestDialBacklogFullRefused(t *testing.T) {
+	n := New(0)
+	if _, err := n.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the backlog without accepting.
+	for i := 0; i < backlog; i++ {
+		if _, err := n.Dial(80); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	if _, err := n.Dial(80); !errors.Is(err, ErrRefused) {
+		t.Errorf("dial on full backlog = %v, want ErrRefused", err)
+	}
+}
+
+func TestQueuedConnsClosedOnListenerClose(t *testing.T) {
+	// A connection queued in the backlog when the listener closes must
+	// observe end-of-stream, not hang in Recv — the stranded-dialer
+	// case the fleet dispatcher's shutdown depends on.
+	n := New(0)
+	l, err := n.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got, err := c.Recv(); err == nil && got != nil {
+			t.Errorf("Recv = %q, want end of stream or error", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialer hung in Recv after listener close")
+	}
+}

@@ -8,6 +8,7 @@ package webbench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -54,8 +55,40 @@ type Metrics struct {
 	Elapsed time.Duration
 	// TotalLatency is the sum of per-request latencies.
 	TotalLatency time.Duration
+	// P50Latency is the median request latency.
+	P50Latency time.Duration
 	// P95Latency is the 95th-percentile request latency.
 	P95Latency time.Duration
+	// P99Latency is the 99th-percentile request latency (the tail a
+	// fleet's quarantine windows show up in).
+	P99Latency time.Duration
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of the given
+// latencies. The input need not be sorted; it is not modified.
+func Percentile(latencies []time.Duration, p float64) time.Duration {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the nearest-rank percentile over an ascending
+// slice: the smallest value with at least p% of samples at or below it.
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // ThroughputKBps returns throughput in kilobytes per second — the
@@ -137,7 +170,9 @@ func Run(net *simnet.Network, port uint16, opts Options) (Metrics, error) {
 	agg.Elapsed = time.Since(start)
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		agg.P95Latency = latencies[(len(latencies)*95)/100]
+		agg.P50Latency = percentileSorted(latencies, 50)
+		agg.P95Latency = percentileSorted(latencies, 95)
+		agg.P99Latency = percentileSorted(latencies, 99)
 	}
 	return agg, nil
 }

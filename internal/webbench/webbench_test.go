@@ -93,6 +93,65 @@ func TestMetricsZeroSafe(t *testing.T) {
 	}
 }
 
+func TestPercentileMath(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// 1..100 ms: the p-th percentile under nearest-rank is exactly p ms.
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = ms(i + 1)
+	}
+	tests := []struct {
+		name string
+		in   []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"empty", nil, 95, 0},
+		{"single", []time.Duration{ms(7)}, 50, ms(7)},
+		{"single-p99", []time.Duration{ms(7)}, 99, ms(7)},
+		{"hundred-p50", hundred, 50, ms(50)},
+		{"hundred-p95", hundred, 95, ms(95)},
+		{"hundred-p99", hundred, 99, ms(99)},
+		{"hundred-p100", hundred, 100, ms(100)},
+		{"five-p50", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 50, ms(3)},
+		{"five-p99", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 99, ms(5)},
+		{"two-p50", []time.Duration{ms(10), ms(20)}, 50, ms(10)},
+		{"clamp-low", []time.Duration{ms(10), ms(20)}, 0, ms(10)},
+	}
+	for _, tc := range tests {
+		if got := Percentile(tc.in, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(p=%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	in := []time.Duration{ms(5), ms(1), ms(4)}
+	_ = Percentile(in, 95)
+	if in[0] != ms(5) || in[1] != ms(1) || in[2] != ms(4) {
+		t.Errorf("Percentile mutated its input: %v", in)
+	}
+}
+
+func TestRunReportsPercentiles(t *testing.T) {
+	h, err := harness.Start(harness.Config1Unmodified, httpd.DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(h.Net, h.Port, Options{Engines: 2, RequestsPerEngine: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if m.P50Latency <= 0 || m.P95Latency <= 0 || m.P99Latency <= 0 {
+		t.Fatalf("percentiles not populated: %+v", m)
+	}
+	if m.P50Latency > m.P95Latency || m.P95Latency > m.P99Latency {
+		t.Errorf("percentiles out of order: p50=%v p95=%v p99=%v",
+			m.P50Latency, m.P95Latency, m.P99Latency)
+	}
+}
+
 func TestDefaultMixCoversSizes(t *testing.T) {
 	mix := DefaultMix()
 	if len(mix) < 5 {

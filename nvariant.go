@@ -37,6 +37,7 @@ package nvariant
 import (
 	"time"
 
+	"nvariant/internal/fleet"
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
 	"nvariant/internal/minic"
@@ -205,6 +206,43 @@ type ServerHandle = harness.Handle
 func StartConfiguration(c Configuration, opts HTTPServerOptions, latency time.Duration) (*ServerHandle, error) {
 	return harness.Start(c, opts, latency)
 }
+
+// --- Fleet deployment (surviving detection at scale) ------------------
+
+// Fleet is a dispatcher-fronted pool of independent N-variant server
+// groups with quarantine-on-alarm recovery: when any group's monitor
+// raises an alarm, the group is quarantined, the alarm is recorded in
+// an append-only audit log, and a fresh group with newly selected
+// reexpression functions takes its place.
+type Fleet = fleet.Fleet
+
+// FleetOptions configures a fleet (pool size, configuration, policy).
+type FleetOptions = fleet.Options
+
+// FleetStats is a snapshot of fleet health and dispatch counters.
+type FleetStats = fleet.Stats
+
+// FleetGroupStat describes one pool member in a stats snapshot.
+type FleetGroupStat = fleet.GroupStat
+
+// FleetPolicy selects the dispatcher's balancing policy.
+type FleetPolicy = fleet.Policy
+
+// FleetAuditLog is the fleet's append-only recovery record.
+type FleetAuditLog = fleet.AuditLog
+
+// FleetAuditEntry is one quarantine/replacement record.
+type FleetAuditEntry = fleet.AuditEntry
+
+// Balancing policies.
+const (
+	FleetRoundRobin  = fleet.RoundRobin
+	FleetLeastLoaded = fleet.LeastLoaded
+)
+
+// NewFleet builds the pool, starts every group, and begins dispatching
+// on the front port.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
 
 // --- Automated UID transformation (§3.3) -----------------------------
 
