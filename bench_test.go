@@ -290,7 +290,7 @@ func BenchmarkAblationSyscallBoundary(b *testing.B) { benchRequestCost(b, true) 
 // BenchmarkAblationRendezvous measures raw monitor rendezvous cost per
 // syscall as group size grows.
 func BenchmarkAblationRendezvous(b *testing.B) {
-	for _, n := range []int{1, 2, 3} {
+	for _, n := range []int{1, 2, 3, 4, 5} {
 		n := n
 		b.Run(fmt.Sprintf("variants-%d", n), func(b *testing.B) {
 			world, err := vos.NewWorld()
@@ -458,6 +458,61 @@ func BenchmarkFleetDispatchOverhead(b *testing.B) {
 	b.StopTimer()
 	if _, err := f.Stop(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// --- DiversitySpec: generation and N-wide detection --------------------
+
+// BenchmarkGenerateSpec measures the cost of drawing one validated
+// full-stack spec — the fleet pays this on every replacement, so it
+// bounds recovery latency.
+func BenchmarkGenerateSpec(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		b.Run(fmt.Sprintf("variants-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec := reexpress.Generate(int64(i+1), n,
+					reexpress.LayerUID, reexpress.LayerAddressPartition, reexpress.LayerUnsharedFiles)
+				if spec.N() != n {
+					b.Fatalf("spec N = %d", spec.N())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpecDetection measures end-to-end forged-UID detection time
+// as the group size grows (the N-wide Figure 2).
+func BenchmarkSpecDetection(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		b.Run(fmt.Sprintf("variants-%d", n), func(b *testing.B) {
+			spec := reexpress.Generate(int64(n), n)
+			forged := sys.ProgramFunc{ProgName: "forged", Fn: func(ctx *sys.Context) error {
+				if _, err := ctx.UIDValue(0); err != nil {
+					return err
+				}
+				return ctx.Exit(0)
+			}}
+			progs := make([]sys.Program, n)
+			for i := range progs {
+				progs[i] = forged
+			}
+			for i := 0; i < b.N; i++ {
+				world, err := vos.NewWorld()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithSpec(spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Alarm == nil {
+					b.Fatal("forged UID not detected")
+				}
+			}
+		})
 	}
 }
 

@@ -20,7 +20,7 @@ func run() error {
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"table1", "table2", "table3", "figure1", "figure2", "overwrite", "changes"}
+		which = []string{"table1", "table2", "table3", "figure1", "figure2", "overwrite", "changes", "nsweep"}
 	}
 	for _, name := range which {
 		switch name {
@@ -62,6 +62,12 @@ func run() error {
 			res.Fprint(os.Stdout)
 		case "changes":
 			res, err := experiments.RunChanges()
+			if err != nil {
+				return err
+			}
+			res.Fprint(os.Stdout)
+		case "nsweep":
+			res, err := experiments.RunNSweep(experiments.DefaultNSweepOptions())
 			if err != nil {
 				return err
 			}

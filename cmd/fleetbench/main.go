@@ -2,17 +2,23 @@
 // scales: it sweeps pool size × webbench engine count and prints a
 // scaling table (throughput, mean and tail latency, errors), and can
 // run the fleet-under-attack scenario to show availability during an
-// attack campaign.
+// attack campaign. Groups are deployed from generated DiversitySpecs:
+// -variants sets the per-group N and -stack the variation stack.
 //
 // Usage:
 //
 //	fleetbench                      # sweep pools 1,2,4,8 × engines 1,15
 //	fleetbench -pools 2,4 -engines 15 -requests 30
 //	fleetbench -policy least-loaded # balancing policy
+//	fleetbench -variants 3          # pools of 3-variant groups
+//	fleetbench -variants 2-4        # each group draws N from [2,4]
+//	fleetbench -stack uid,files     # variation stack per group spec
+//	fleetbench -json                # machine-readable sweep (BENCH_fleet.json)
 //	fleetbench -attack              # fleet-under-attack scenario
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,7 @@ import (
 	"nvariant/internal/experiments"
 	"nvariant/internal/fleet"
 	"nvariant/internal/httpd"
+	"nvariant/internal/reexpress"
 	"nvariant/internal/webbench"
 )
 
@@ -33,6 +40,28 @@ func main() {
 	}
 }
 
+// cell is one sweep measurement in the -json output.
+type cell struct {
+	Pool     int     `json:"pool"`
+	Engines  int     `json:"engines"`
+	Requests int     `json:"requests"`
+	KBps     float64 `json:"kbps"`
+	MeanMs   float64 `json:"mean_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Errors   int     `json:"errors"`
+}
+
+// report is the -json document (the CI perf-trajectory artifact).
+type report struct {
+	Kind     string `json:"kind"`
+	Policy   string `json:"policy"`
+	Variants string `json:"variants"`
+	Stack    string `json:"stack"`
+	Work     int    `json:"work"`
+	Cells    []cell `json:"cells"`
+}
+
 func run() error {
 	pools := flag.String("pools", "1,2,4,8", "comma-separated pool sizes to sweep")
 	engines := flag.String("engines", "1,15", "comma-separated engine counts to sweep")
@@ -40,6 +69,9 @@ func run() error {
 	workFactor := flag.Int("work", 400, "per-request CPU work factor")
 	latency := flag.Duration("latency", 0, "one-way wire latency")
 	policyName := flag.String("policy", "round-robin", "balancing policy: round-robin or least-loaded")
+	variantsFlag := flag.String("variants", "2", "per-group variant count N, or a range like 2-4")
+	stackFlag := flag.String("stack", "", "variation stack per group spec (e.g. uid,addr,files; default: the full §4 stack)")
+	jsonOut := flag.Bool("json", false, "emit the sweep as JSON on stdout")
 	attackMode := flag.Bool("attack", false, "run the fleet-under-attack scenario instead of the sweep")
 	probes := flag.Int("probes", 5, "attack probes in -attack mode")
 	flag.Parse()
@@ -48,14 +80,45 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	minVariants, maxVariants, err := parseVariants(*variantsFlag)
+	if err != nil {
+		return fmt.Errorf("-variants: %w", err)
+	}
+	var stack []reexpress.LayerKind
+	if *stackFlag != "" {
+		if stack, err = reexpress.ParseStack(*stackFlag); err != nil {
+			return err
+		}
+	}
 
 	if *attackMode {
+		if *jsonOut {
+			return fmt.Errorf("-json applies to the scaling sweep, not -attack")
+		}
 		opts := experiments.DefaultFleetAttackOptions()
+		// -pools/-engines are sweep lists; the attack scenario runs one
+		// fleet, so honor them only as single values (and only when
+		// explicitly set — the sweep defaults are multi-valued).
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["pools"] {
+			if opts.Groups, err = parseSingle("pools", *pools); err != nil {
+				return err
+			}
+		}
+		if explicit["engines"] {
+			if opts.Engines, err = parseSingle("engines", *engines); err != nil {
+				return err
+			}
+		}
 		opts.RequestsPerEngine = *requests
 		opts.WorkFactor = *workFactor
 		opts.Latency = *latency
 		opts.Policy = policy
 		opts.Probes = *probes
+		opts.Variants = minVariants
+		opts.MaxVariants = maxVariants
+		opts.Stack = stack
 		r, err := experiments.RunFleetAttack(opts)
 		if err != nil {
 			return err
@@ -76,32 +139,60 @@ func run() error {
 	serverOpts := httpd.DefaultOptions()
 	serverOpts.WorkFactor = *workFactor
 
-	fmt.Printf("Fleet scaling sweep (policy %s, %d requests/engine, work factor %d, latency %v)\n",
-		policy, *requests, *workFactor, *latency)
-	fmt.Printf("%-8s %-9s %12s %10s %10s %10s %8s\n",
-		"pool", "engines", "KB/s", "mean ms", "p95 ms", "p99 ms", "errors")
+	fleetOpts := fleet.Options{
+		Policy:      policy,
+		Latency:     *latency,
+		Server:      serverOpts,
+		Variants:    minVariants,
+		MaxVariants: maxVariants,
+		Stack:       stack,
+	}
+
+	rep := report{
+		Kind:     "fleetbench",
+		Policy:   policy.String(),
+		Variants: *variantsFlag,
+		Stack:    *stackFlag,
+		Work:     *workFactor,
+	}
+	if !*jsonOut {
+		fmt.Printf("Fleet scaling sweep (policy %s, N=%s, %d requests/engine, work factor %d, latency %v)\n",
+			policy, *variantsFlag, *requests, *workFactor, *latency)
+		fmt.Printf("%-8s %-9s %12s %10s %10s %10s %8s\n",
+			"pool", "engines", "KB/s", "mean ms", "p95 ms", "p99 ms", "errors")
+	}
 	for _, groups := range poolSizes {
 		for _, eng := range engineCounts {
-			m, err := measure(groups, eng, *requests, *latency, policy, serverOpts)
+			m, err := measure(groups, eng, *requests, fleetOpts)
 			if err != nil {
 				return fmt.Errorf("pool %d engines %d: %w", groups, eng, err)
+			}
+			if *jsonOut {
+				rep.Cells = append(rep.Cells, cell{
+					Pool: groups, Engines: eng, Requests: m.Requests,
+					KBps:   m.ThroughputKBps(),
+					MeanMs: ms(m.MeanLatency()), P95Ms: ms(m.P95Latency), P99Ms: ms(m.P99Latency),
+					Errors: m.Errors,
+				})
+				continue
 			}
 			fmt.Printf("%-8d %-9d %12.1f %10.3f %10.3f %10.3f %8d\n",
 				groups, eng, m.ThroughputKBps(),
 				ms(m.MeanLatency()), ms(m.P95Latency), ms(m.P99Latency), m.Errors)
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	return nil
 }
 
 // measure runs one cell of the sweep on a fresh fleet.
-func measure(groups, engines, requests int, latency time.Duration, policy fleet.Policy, serverOpts httpd.Options) (webbench.Metrics, error) {
-	f, err := fleet.New(fleet.Options{
-		Groups:  groups,
-		Server:  serverOpts,
-		Policy:  policy,
-		Latency: latency,
-	})
+func measure(groups, engines, requests int, opts fleet.Options) (webbench.Metrics, error) {
+	opts.Groups = groups
+	f, err := fleet.New(opts)
 	if err != nil {
 		return webbench.Metrics{}, err
 	}
@@ -134,6 +225,37 @@ func parsePolicy(name string) (fleet.Policy, error) {
 	default:
 		return 0, fmt.Errorf("unknown policy %q (want round-robin or least-loaded)", name)
 	}
+}
+
+// parseVariants parses "3" or a range like "2-4" into (min, max); max
+// is 0 for a fixed N.
+func parseVariants(s string) (int, int, error) {
+	lo, hi, ok := strings.Cut(s, "-")
+	n, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil || n < 2 {
+		return 0, 0, fmt.Errorf("bad variant count %q (want an integer >= 2)", lo)
+	}
+	if !ok {
+		return n, 0, nil
+	}
+	m, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil || m < n {
+		return 0, 0, fmt.Errorf("bad variant range %q", s)
+	}
+	return n, m, nil
+}
+
+// parseSingle parses a flag that must carry exactly one count in
+// -attack mode.
+func parseSingle(name, csv string) (int, error) {
+	vals, err := parseInts(csv)
+	if err != nil {
+		return 0, fmt.Errorf("-%s: %w", name, err)
+	}
+	if len(vals) != 1 {
+		return 0, fmt.Errorf("-%s: -attack runs one fleet, want a single value (got %q)", name, csv)
+	}
+	return vals[0], nil
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -1,15 +1,18 @@
-// fleet demonstrates surviving detection: a pool of two-variant UID
+// fleet demonstrates surviving detection: a pool of N-variant UID
 // groups serves traffic through a dispatcher while an attacker mounts
 // the paper's UID-forging attack through the same front port. Each
 // probe is detected at the first use of the forged UID; the fleet
 // quarantines the struck group, appends the alarm to its audit log,
-// and brings up a replacement running freshly selected reexpression
-// functions — watch the audit lines stream as it happens.
+// and brings up a replacement running a freshly generated
+// DiversitySpec — watch the audit lines stream as it happens.
 //
 //	go run ./examples/fleet
+//	go run ./examples/fleet -variants 3            # 3-variant groups
+//	go run ./examples/fleet -stack uid,files       # custom variation stack
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -27,10 +30,24 @@ func main() {
 }
 
 func run() error {
-	fmt.Println("starting a fleet of 3 two-variant UID groups...")
+	variants := flag.Int("variants", 2, "variant count N per group")
+	stackCSV := flag.String("stack", "", "variation stack per group spec (e.g. uid,addr,files; default: the full paper stack)")
+	flag.Parse()
+
+	var stack []nvariant.DiversityLayerKind
+	if *stackCSV != "" {
+		var err error
+		if stack, err = nvariant.ParseStack(*stackCSV); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("starting a fleet of 3 %d-variant UID groups...\n", *variants)
 	f, err := nvariant.NewFleet(nvariant.FleetOptions{
-		Groups:  3,
-		AuditTo: os.Stdout, // stream audit entries as they are appended
+		Groups:   3,
+		Variants: *variants,
+		Stack:    stack,
+		AuditTo:  os.Stdout, // stream audit entries as they are appended
 	})
 	if err != nil {
 		return err
@@ -70,7 +87,7 @@ func run() error {
 		if err := f.AwaitReplenished(probe, 3, 10*time.Second); err != nil {
 			return fmt.Errorf("replacement for probe %d: %w", probe, err)
 		}
-		fmt.Println("pool replenished with freshly selected reexpression functions:")
+		fmt.Println("pool replenished with a freshly generated DiversitySpec:")
 		fmt.Println(f.Stats())
 	}
 

@@ -235,3 +235,47 @@ func TestPaperTable3Values(t *testing.T) {
 		t.Error("paper values drifted from Table 3")
 	}
 }
+
+// TestNSweepAllNsDetect is the DiversitySpec acceptance criterion:
+// RunNSweep runs green for N ∈ {2,3,4,5} — every attack trial is
+// detected, nothing leaks, and benign load raises no false alarm.
+func TestNSweepAllNsDetect(t *testing.T) {
+	opts := DefaultNSweepOptions()
+	opts.Engines = 4
+	opts.RequestsPerEngine = 6
+	opts.WorkFactor = 50
+	opts.Trials = 2
+	r, err := RunNSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row.N != opts.Ns[i] {
+			t.Errorf("row %d: N = %d, want %d", i, row.N, opts.Ns[i])
+		}
+		if row.Detections != row.Trials {
+			t.Errorf("N=%d: detections = %d/%d (every planted attack must trigger)", row.N, row.Detections, row.Trials)
+		}
+		if row.Leaks != 0 {
+			t.Errorf("N=%d: %d secret disclosures", row.N, row.Leaks)
+		}
+		if row.DetectionRate() != 1.0 {
+			t.Errorf("N=%d: detection rate = %.2f", row.N, row.DetectionRate())
+		}
+		if row.Load.Requests == 0 || row.Load.Errors != 0 {
+			t.Errorf("N=%d: load metrics = %+v", row.N, row.Load)
+		}
+	}
+}
+
+func TestNSweepRejectsBadSizing(t *testing.T) {
+	if _, err := RunNSweep(NSweepOptions{Engines: -1}); err == nil {
+		t.Error("negative engines accepted")
+	}
+	if _, err := RunNSweep(NSweepOptions{Ns: []int{1}, Engines: 1, RequestsPerEngine: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"nvariant/internal/fleet"
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
+	"nvariant/internal/reexpress"
 	"nvariant/internal/vos"
 	"nvariant/internal/webbench"
 )
@@ -20,6 +21,15 @@ import (
 type FleetAttackOptions struct {
 	// Groups is the pool size.
 	Groups int
+	// Variants is the per-group variant count N (0 means the fleet
+	// default of 2).
+	Variants int
+	// MaxVariants, when greater than Variants, lets each group draw
+	// its own N from [Variants, MaxVariants].
+	MaxVariants int
+	// Stack is the variation stack of each defended group's generated
+	// spec (nil means the fleet's default full §4 stack).
+	Stack []reexpress.LayerKind
 	// Engines is the concurrent webbench engine count (15 = the
 	// paper's saturated operating point).
 	Engines int
@@ -158,12 +168,15 @@ func runFleetPhase(opts FleetAttackOptions, cfg harness.Configuration, probes in
 	serverOpts := httpd.DefaultOptions()
 	serverOpts.WorkFactor = opts.WorkFactor
 	f, err := fleet.New(fleet.Options{
-		Groups:  opts.Groups,
-		Config:  cfg,
-		Server:  serverOpts,
-		Policy:  opts.Policy,
-		Latency: opts.Latency,
-		Seed:    opts.Seed,
+		Groups:      opts.Groups,
+		Config:      cfg,
+		Variants:    opts.Variants,
+		MaxVariants: opts.MaxVariants,
+		Stack:       opts.Stack,
+		Server:      serverOpts,
+		Policy:      opts.Policy,
+		Latency:     opts.Latency,
+		Seed:        opts.Seed,
 	})
 	if err != nil {
 		return webbench.Metrics{}, phaseStats{}, 0, err
@@ -258,8 +271,16 @@ func runCampaign(f *fleet.Fleet, probes int, expectDetection bool) (int, error) 
 
 // Fprint renders the report.
 func (r *FleetAttackReport) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "Fleet under attack: %d groups, %d engines x %d requests, %d probes, policy %s\n",
-		r.Opts.Groups, r.Opts.Engines, r.Opts.RequestsPerEngine, r.Opts.Probes, r.Opts.Policy)
+	variants := r.Opts.Variants
+	if variants == 0 {
+		variants = 2
+	}
+	nDesc := fmt.Sprintf("%d", variants)
+	if r.Opts.MaxVariants > variants {
+		nDesc = fmt.Sprintf("%d-%d", variants, r.Opts.MaxVariants)
+	}
+	fmt.Fprintf(w, "Fleet under attack: %d groups x %s variants, %d engines x %d requests, %d probes, policy %s\n",
+		r.Opts.Groups, nDesc, r.Opts.Engines, r.Opts.RequestsPerEngine, r.Opts.Probes, r.Opts.Policy)
 	fmt.Fprintf(w, "  %-34s %s\n", "defended, attack-free:", r.Baseline)
 	fmt.Fprintf(w, "  %-34s %s\n", "defended, under campaign:", r.Attacked)
 	fmt.Fprintf(w, "  %-34s %s\n", "undefended, under campaign:", r.Undefended)

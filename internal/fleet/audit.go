@@ -25,7 +25,10 @@ type AuditEntry struct {
 	Port uint16
 	// Config is the group's Table 3 configuration.
 	Config harness.Configuration
-	// R1 names the group's variant-1 reexpression function.
+	// Variants is the group's process-group size N.
+	Variants int
+	// R1 names the group's variant-1 effective UID reexpression
+	// function.
 	R1 string
 	// Alarm is the monitor's divergence report (nil when the group
 	// exited without one, e.g. a variant fault with no alarm attached).
@@ -45,8 +48,8 @@ type AuditEntry struct {
 // String renders the entry as one audit-log line.
 func (e AuditEntry) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#%d %s group=%d port=%d config=%q r1=%s",
-		e.Seq, e.Time.Format(time.RFC3339Nano), e.GroupID, e.Port, e.Config, e.R1)
+	fmt.Fprintf(&b, "#%d %s group=%d port=%d config=%q n=%d r1=%s",
+		e.Seq, e.Time.Format(time.RFC3339Nano), e.GroupID, e.Port, e.Config, e.Variants, e.R1)
 	if e.Alarm != nil {
 		fmt.Fprintf(&b, " alarm=%s syscall=%s variant=%d", e.Alarm.Reason, e.Alarm.Syscall, e.Alarm.Variant)
 	}

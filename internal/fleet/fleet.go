@@ -38,8 +38,11 @@ const (
 	DefaultGroups = 4
 	// DefaultFrontPort is the dispatcher's client-facing port.
 	DefaultFrontPort uint16 = 80
-	// DefaultBasePort is where group ports are allocated from
-	// (monotonically; ports are never reused across replacements).
+	// DefaultBasePort is where group ports are allocated from. Fresh
+	// ports are taken monotonically, and a quarantined group's port is
+	// recycled once its listener has closed — so ports identify pool
+	// slots over time, not groups (group IDs are the never-reused
+	// identifier).
 	DefaultBasePort uint16 = 9000
 )
 
@@ -50,6 +53,19 @@ type Options struct {
 	// Config is the per-group Table 3 configuration (default
 	// Config4UIDVariation, the paper's full system).
 	Config harness.Configuration
+	// Variants is the per-group variant count N (default 2, the
+	// paper's deployment). Detection effectiveness grows with N; every
+	// group's DiversitySpec is generated at this width.
+	Variants int
+	// MaxVariants, when greater than Variants, makes every spawned
+	// group (initial or replacement) draw its own N uniformly from
+	// [Variants, MaxVariants] — the pool then varies in group size,
+	// not just in reexpression masks.
+	MaxVariants int
+	// Stack is the variation stack generated for each Config4 group's
+	// spec (default: uid + address-partition + unshared-files, the
+	// paper's full §4 deployment).
+	Stack []reexpress.LayerKind
 	// Server configures the httpd program of every group.
 	Server httpd.Options
 	// Policy selects the balancing policy (default RoundRobin).
@@ -77,6 +93,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Config == 0 {
 		o.Config = harness.Config4UIDVariation
+	}
+	if o.Variants <= 0 {
+		o.Variants = 2
 	}
 	// Server needs no defaulting: httpd.New fills ConfigPath itself,
 	// and overwriting the struct here would discard caller fields.
@@ -107,6 +126,7 @@ type Fleet struct {
 	groups      []*group
 	nextID      int
 	nextPort    uint16
+	freePorts   []uint16
 	spawned     int
 	detections  int
 	quarantined int
@@ -132,6 +152,16 @@ func New(opts Options) (*Fleet, error) {
 	opts = opts.withDefaults()
 	if opts.FrontPort >= opts.BasePort {
 		return nil, fmt.Errorf("fleet: front port %d must be below base port %d", opts.FrontPort, opts.BasePort)
+	}
+	for _, k := range opts.Stack {
+		switch k {
+		case reexpress.LayerUID, reexpress.LayerAddressPartition, reexpress.LayerUnsharedFiles:
+			// Deployable by the monitor kernel.
+		case reexpress.LayerInstructionTags:
+			return nil, fmt.Errorf("fleet: instruction-tag layers deploy on the isa substrate, not in server groups")
+		default:
+			return nil, fmt.Errorf("fleet: unknown stack layer kind %d", k)
+		}
 	}
 	f := &Fleet{
 		opts:     opts,
@@ -166,44 +196,48 @@ func (f *Fleet) spawn() (*group, error) {
 	}
 	id := f.nextID
 	f.nextID++
-	port := f.nextPort
-	if port < f.opts.BasePort {
-		// nextPort wrapped the uint16 space (≈56k replacements):
-		// continuing would collide with the front port or remap to the
-		// default. Fail the spawn; the audit log records it.
-		f.mu.Unlock()
-		return nil, fmt.Errorf("fleet: group port space exhausted")
+	var port uint16
+	if k := len(f.freePorts); k > 0 {
+		// Recycle a quarantined group's port: its listener closed
+		// before the group's exit was processed, so the slot is free
+		// again and long-running fleets never walk off the end of the
+		// port space.
+		port = f.freePorts[k-1]
+		f.freePorts = f.freePorts[:k-1]
+	} else {
+		port = f.nextPort
+		if port < f.opts.BasePort {
+			// nextPort wrapped the uint16 space and no quarantined port
+			// is free to recycle: continuing would collide with the
+			// front port or remap to the default. Fail the spawn; the
+			// audit log records it.
+			f.mu.Unlock()
+			return nil, fmt.Errorf("fleet: group port space exhausted")
+		}
+		f.nextPort++
 	}
-	f.nextPort++
 	f.mu.Unlock()
 
-	// Select the pair and build outside the lock: mask selection and
-	// group startup both take real time, and dispatch must keep
-	// flowing to the survivors meanwhile. Only the UID-variation
-	// configuration runs a selectable pair; other configurations must
-	// not advertise functions they don't deploy.
-	pair := reexpress.Pair{R0: reexpress.Identity{}, R1: reexpress.Identity{}}
+	// Generate the spec and build outside the pool lock: mask
+	// selection with its property checks and group startup both take
+	// real time, and dispatch must keep flowing to the survivors
+	// meanwhile. Only configurations that deploy a variation stack get
+	// a spec; others must not advertise functions they don't deploy.
+	spec := f.specForGroup(id)
 	r1 := "(none)"
-	var specPair *reexpress.Pair
-	switch f.opts.Config {
-	case harness.Config4UIDVariation:
-		if id == 0 {
-			pair = reexpress.UIDVariation().Pair
-		} else {
-			f.rngMu.Lock()
-			pair = SelectPair(f.rng)
-			f.rngMu.Unlock()
-		}
-		specPair = &pair
-		r1 = pair.R1.Name()
-	case harness.Config3AddressSpace:
-		r1 = pair.R1.Name() // two variants on identity contents
+	variants := f.opts.Config.Variants()
+	if spec != nil {
+		r1 = spec.VariantName(1)
+		variants = spec.N()
 	}
-	h, err := harness.StartSpec(f.net, f.specFor(port, specPair))
+	h, err := harness.StartSpec(f.net, f.specFor(port, spec))
 	if err != nil {
+		f.mu.Lock()
+		f.freePorts = append(f.freePorts, port)
+		f.mu.Unlock()
 		return nil, err
 	}
-	g := &group{id: id, port: port, pair: pair, r1: r1, handle: h}
+	g := &group{id: id, port: port, spec: spec, variants: variants, r1: r1, handle: h}
 
 	f.mu.Lock()
 	if f.closed {
@@ -243,8 +277,11 @@ func (f *Fleet) groupExited(g *group) {
 	if !stopping {
 		// During shutdown the roster is frozen so the final Stats
 		// report the pool as it stood; while serving, a dead group is
-		// pruned immediately so the dispatcher stops picking it.
+		// pruned immediately so the dispatcher stops picking it, and
+		// its port — whose listener closed when the monitor tore the
+		// group down — returns to the free list for the replacement.
 		f.removeLocked(g)
+		f.freePorts = append(f.freePorts, g.port)
 		if alarmed || !clean {
 			f.quarantined++
 		}
@@ -302,6 +339,7 @@ func (f *Fleet) entryFor(g *group, action string) AuditEntry {
 		GroupID:       g.id,
 		Port:          g.port,
 		Config:        f.opts.Config,
+		Variants:      g.variants,
 		R1:            g.r1,
 		Action:        action,
 		ReplacementID: -1,
@@ -358,9 +396,15 @@ func (f *Fleet) Stats() Stats {
 		DispatchErrors: f.dispatchErrors.Load(),
 	}
 	for _, g := range f.groups {
+		stack := ""
+		if g.spec != nil {
+			stack = g.spec.StackString()
+		}
 		s.Healthy = append(s.Healthy, GroupStat{
 			ID:       g.id,
 			Port:     g.port,
+			Variants: g.variants,
+			Stack:    stack,
 			R1:       g.r1,
 			Inflight: g.inflight.Load(),
 			Served:   g.served.Load(),

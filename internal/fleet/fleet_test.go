@@ -283,3 +283,145 @@ func TestFleetUnknownConfigFails(t *testing.T) {
 		t.Error("unknown configuration accepted")
 	}
 }
+
+// TestFleetRecyclesQuarantinedPorts is the port-exhaustion regression
+// test: with only exactly Groups ports in the space above BasePort, a
+// replacement can only come up by recycling the quarantined group's
+// port. Before recycling, nextPort walked monotonically off the end of
+// the uint16 space and the replacement spawn failed.
+func TestFleetRecyclesQuarantinedPorts(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 2, BasePort: 65534})
+	client := f.Client()
+
+	for probe := 1; probe <= 3; probe++ {
+		if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+			t.Fatalf("probe %d overflow: %v", probe, err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for f.Stats().Detections < probe {
+			if time.Now().After(deadline) {
+				t.Fatalf("probe %d not detected", probe)
+			}
+			_, _, _ = client.Get("/private/secret.html")
+		}
+		if err := f.AwaitReplenished(probe, 2, 15*time.Second); err != nil {
+			t.Fatalf("replacement %d (port recycling failed?): %v", probe, err)
+		}
+	}
+
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replaced != 3 || len(stats.Healthy) != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Every healthy group must sit on one of the only two legal ports.
+	for _, g := range stats.Healthy {
+		if g.Port != 65534 && g.Port != 65535 {
+			t.Errorf("group %d on port %d, outside the 2-port space", g.ID, g.Port)
+		}
+	}
+	// And the pool still serves.
+	for _, e := range f.Audit().Entries() {
+		if e.Action != "quarantine+replace" {
+			t.Errorf("audit entry action = %q", e.Action)
+		}
+	}
+}
+
+// TestFleetNVariantGroups runs a pool of 3-variant groups: benign load
+// must be served cleanly and the planted attack detected and recovered
+// from, exactly as at N=2.
+func TestFleetNVariantGroups(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 2, Variants: 3})
+	client := f.Client()
+
+	stats := f.Stats()
+	for _, g := range stats.Healthy {
+		if g.Variants != 3 {
+			t.Errorf("group %d variants = %d, want 3", g.ID, g.Variants)
+		}
+		if g.Stack != "uid+address-partition+unshared-files" {
+			t.Errorf("group %d stack = %q", g.ID, g.Stack)
+		}
+	}
+
+	if code, _, err := client.Get("/index.html"); err != nil || code != 200 {
+		t.Fatalf("benign request = %d, %v", code, err)
+	}
+	if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+		t.Fatalf("overflow: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Stats().Detections == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("attack not detected at N=3")
+		}
+		code, body, err := client.Get("/private/secret.html")
+		if err == nil && code == 200 && httpd.ContainsSecret(body) {
+			t.Fatal("secret leaked through the 3-variant fleet")
+		}
+	}
+	if err := f.AwaitReplenished(1, 2, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := f.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detections != 1 || stats.Replaced != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	entries := f.Audit().Entries()
+	if len(entries) != 1 || entries[0].Variants != 3 {
+		t.Errorf("audit = %+v", entries)
+	}
+}
+
+// TestFleetMixedVariantPool draws each group's N from [2,4]: the pool
+// may vary in group size, and every group must still serve.
+func TestFleetMixedVariantPool(t *testing.T) {
+	f := startFleet(t, fleet.Options{Groups: 4, Variants: 2, MaxVariants: 4, Seed: 3})
+	defer func() { _, _ = f.Stop() }()
+	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{Engines: 4, RequestsPerEngine: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 {
+		t.Errorf("errors = %d under benign load", m.Errors)
+	}
+	for _, g := range f.Stats().Healthy {
+		if g.Variants < 2 || g.Variants > 4 {
+			t.Errorf("group %d variants = %d, outside [2,4]", g.ID, g.Variants)
+		}
+	}
+}
+
+// TestFleetCustomStack runs groups whose generated specs carry only
+// the UID and unshared-files layers (no address partitioning).
+func TestFleetCustomStack(t *testing.T) {
+	f := startFleet(t, fleet.Options{
+		Groups:   2,
+		Variants: 2,
+		Stack:    []reexpress.LayerKind{reexpress.LayerUID, reexpress.LayerUnsharedFiles},
+	})
+	defer func() { _, _ = f.Stop() }()
+	if code, _, err := f.Client().Get("/index.html"); err != nil || code != 200 {
+		t.Fatalf("request = %d, %v", code, err)
+	}
+	for _, g := range f.Stats().Healthy {
+		if g.Stack != "uid+unshared-files" {
+			t.Errorf("group %d stack = %q", g.ID, g.Stack)
+		}
+	}
+}
+
+func TestFleetRejectsBadStack(t *testing.T) {
+	if _, err := fleet.New(fleet.Options{Stack: []reexpress.LayerKind{reexpress.LayerKind(99)}}); err == nil {
+		t.Error("unknown stack layer kind accepted")
+	}
+	if _, err := fleet.New(fleet.Options{Stack: []reexpress.LayerKind{reexpress.LayerUID, reexpress.LayerInstructionTags}}); err == nil {
+		t.Error("instruction-tag stack layer accepted for server groups")
+	}
+}

@@ -2,20 +2,12 @@ package fleet
 
 import (
 	"fmt"
-	"math/bits"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"nvariant/internal/harness"
 	"nvariant/internal/reexpress"
-	"nvariant/internal/word"
 )
-
-// boundarySamples caches the ~65k-word property-check corpus: it is
-// read-only and rebuilding it per replacement draw would be pure
-// allocation churn.
-var boundarySamples = sync.OnceValue(reexpress.BoundarySamples)
 
 // group is one pool member: a running N-variant process group plus the
 // bookkeeping the dispatcher's balancing policies read.
@@ -24,12 +16,16 @@ type group struct {
 	// log can refer to dead groups unambiguously).
 	id int
 	// port is the group's private listening port on the shared network.
+	// Ports of quarantined groups are recycled by later replacements.
 	port uint16
-	// pair is the group's UID reexpression pair (identity pair for
-	// configurations that don't run the UID variation).
-	pair reexpress.Pair
-	// r1 names the variant-1 reexpression function actually deployed
-	// ("(none)" for single-variant configurations).
+	// spec is the group's DiversitySpec (nil for single-variant
+	// configurations, which deploy no variation stack).
+	spec *reexpress.Spec
+	// variants is the group's process-group size N.
+	variants int
+	// r1 names the variant-1 effective UID reexpression function
+	// actually deployed ("(none)" for single-variant configurations) —
+	// the stat the two-variant audit trail always recorded.
 	r1 string
 	// handle controls the running process group.
 	handle *harness.Handle
@@ -39,55 +35,80 @@ type group struct {
 	served atomic.Int64
 }
 
-// minMaskBits is the smallest acceptable popcount for a freshly
-// selected UID mask. The paper's mask flips 31 bits; demanding at
-// least half the word keeps the expected detection probability for
-// random partial overwrites high.
-const minMaskBits = 16
-
-// SelectPair draws a fresh UID variation pair: R₀ = identity and
-// R₁ = XOR with a randomly selected mask. The mask keeps the paper's
-// sign-bit exclusion (so the kernel's negative-UID special cases, e.g.
-// NoChange, stay outside the diversified range), has every byte
-// nonzero (so single-byte overwrites diverge in any position), and
-// flips at least minMaskBits bits. The selected pair is verified
-// against the §2.2/§2.3 inverse and disjointness properties before
-// use; selection falls back to the paper's published mask if the draw
-// repeatedly fails (which would indicate a bug, not bad luck).
+// SelectPair draws a fresh two-variant UID pair: R₀ = identity and
+// R₁ = XOR with a freshly selected mask satisfying the §2.2/§2.3
+// properties.
+//
+// Deprecated-style adapter over reexpress.GenerateFrom, kept so
+// pre-DiversitySpec call sites compile unchanged; replacements now
+// draw whole specs (possibly N-wide and multi-layer) instead of pairs.
 func SelectPair(rng *rand.Rand) reexpress.Pair {
-	for attempt := 0; attempt < 64; attempt++ {
-		var b [word.Size]byte
-		for i := 0; i < word.Size; i++ {
-			b[i] = byte(1 + rng.Intn(255))
-		}
-		b[word.Size-1] &= 0x7F // clear the sign bit
-		if b[word.Size-1] == 0 {
-			continue
-		}
-		mask := word.FromBytes(b)
-		if bits.OnesCount32(uint32(mask)) < minMaskBits {
-			continue
-		}
-		pair := reexpress.Pair{R0: reexpress.Identity{}, R1: reexpress.XORMask{Mask: mask}}
-		if err := reexpress.CheckPair(pair, boundarySamples()); err != nil {
-			continue
-		}
-		return pair
+	funcs := reexpress.GenerateFrom(rng, 2).UIDFuncs()
+	return reexpress.Pair{R0: funcs[0], R1: funcs[1]}
+}
+
+// defaultStack is the variation stack generated for Config4 groups
+// when Options.Stack is empty: the paper's full §4 deployment.
+var defaultStack = []reexpress.LayerKind{
+	reexpress.LayerUID,
+	reexpress.LayerAddressPartition,
+	reexpress.LayerUnsharedFiles,
+}
+
+// drawVariants picks the group size for one spawn. Caller holds rngMu.
+func (f *Fleet) drawVariants() int {
+	n := f.opts.Variants
+	if f.opts.MaxVariants > n {
+		n += f.rng.Intn(f.opts.MaxVariants - n + 1)
 	}
-	return reexpress.UIDVariation().Pair
+	return n
+}
+
+// specForGroup selects the DiversitySpec a fresh group deploys, or nil
+// for configurations without a variation stack.
+func (f *Fleet) specForGroup(id int) *reexpress.Spec {
+	switch f.opts.Config {
+	case harness.Config4UIDVariation:
+		f.rngMu.Lock()
+		defer f.rngMu.Unlock()
+		n := f.drawVariants()
+		if id == 0 && n == 2 && len(f.opts.Stack) == 0 {
+			// Group 0 runs the paper's published functions; every
+			// further group (initial or replacement) runs freshly
+			// generated ones, so the pool is representation-diverse
+			// from the start.
+			return reexpress.FullStack(reexpress.UIDVariation().Pair.Funcs())
+		}
+		stack := f.opts.Stack
+		if len(stack) == 0 {
+			stack = defaultStack
+		}
+		return reexpress.GenerateFrom(f.rng, n, stack...)
+	case harness.Config3AddressSpace:
+		f.rngMu.Lock()
+		n := f.drawVariants()
+		f.rngMu.Unlock()
+		return reexpress.UncheckedSpec(n,
+			reexpress.AddressPartitionLayer(n),
+			reexpress.UnsharedFilesLayer(reexpress.DefaultUnsharedPaths...),
+		)
+	default:
+		// Single-variant configurations deploy no stack.
+		return nil
+	}
 }
 
 // specFor builds the restartable group description for a pool slot.
-func (f *Fleet) specFor(port uint16, pair *reexpress.Pair) harness.GroupSpec {
+func (f *Fleet) specFor(port uint16, spec *reexpress.Spec) harness.GroupSpec {
 	return harness.GroupSpec{
-		Config: f.opts.Config,
-		Server: f.opts.Server,
-		Port:   port,
-		Pair:   pair,
+		Config:    f.opts.Config,
+		Server:    f.opts.Server,
+		Port:      port,
+		Diversity: spec,
 	}
 }
 
 // String identifies the group in logs.
 func (g *group) String() string {
-	return fmt.Sprintf("group %d (port %d, R1=%s)", g.id, g.port, g.r1)
+	return fmt.Sprintf("group %d (port %d, n=%d, R1=%s)", g.id, g.port, g.variants, g.r1)
 }

@@ -11,7 +11,13 @@ type GroupStat struct {
 	ID int
 	// Port is the group's listening port.
 	Port uint16
-	// R1 names the group's variant-1 reexpression function.
+	// Variants is the group's process-group size N.
+	Variants int
+	// Stack names the group's variation stack (empty for undiversified
+	// configurations).
+	Stack string
+	// R1 names the group's variant-1 effective UID reexpression
+	// function.
 	R1 string
 	// Inflight is the number of connections currently proxied to it.
 	Inflight int64
@@ -49,7 +55,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d dispatched (%d errors)",
 		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Dispatched, s.DispatchErrors)
 	for _, g := range s.Healthy {
-		fmt.Fprintf(&b, "\n  group %d port=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.R1, g.Inflight, g.Served)
+		fmt.Fprintf(&b, "\n  group %d port=%d n=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.Variants, g.R1, g.Inflight, g.Served)
 	}
 	return b.String()
 }

@@ -50,7 +50,9 @@ func (c Configuration) String() string {
 	}
 }
 
-// Variants returns the process-group size of the configuration.
+// Variants returns the default process-group size of the
+// configuration (a GroupSpec's DiversitySpec can widen the N-variant
+// configurations).
 func (c Configuration) Variants() int {
 	if c == Config3AddressSpace || c == Config4UIDVariation {
 		return 2
@@ -69,9 +71,15 @@ type GroupSpec struct {
 	// Port is the listening port (0 means httpd.DefaultPort). Distinct
 	// groups on a shared network need distinct ports.
 	Port uint16
-	// Pair overrides the UID reexpression pair for Config4UIDVariation
-	// (nil means the paper's UIDVariation pair). Fleet replacements use
-	// this to come back with freshly selected functions.
+	// Diversity is the group's DiversitySpec: N variants with a stack
+	// of variation layers. Nil selects the configuration's default
+	// stack (the paper's two-variant deployment). Fleet replacements
+	// use this to come back with freshly generated specs — possibly
+	// differing in N and stack, not just masks.
+	Diversity *reexpress.Spec
+	// Pair is the deprecated two-variant override for
+	// Config4UIDVariation, kept so pre-DiversitySpec call sites
+	// continue to compile; it is ignored when Diversity is set.
 	Pair *reexpress.Pair
 }
 
@@ -83,12 +91,37 @@ func (s GroupSpec) port() uint16 {
 	return s.Port
 }
 
-// uidPair returns the effective Config4 reexpression pair.
-func (s GroupSpec) uidPair() reexpress.Pair {
-	if s.Pair != nil {
-		return *s.Pair
+// diversity returns the effective DiversitySpec: the explicit one, or
+// the configuration's default stack. Single-variant configurations
+// have none.
+func (s GroupSpec) diversity() *reexpress.Spec {
+	if s.Diversity != nil {
+		return s.Diversity
 	}
-	return reexpress.UIDVariation().Pair
+	switch s.Config {
+	case Config3AddressSpace:
+		// The 2-variant baseline: disjoint address spaces and unshared
+		// (identity-content) system databases, no data reexpression.
+		return reexpress.UncheckedSpec(2,
+			reexpress.AddressPartitionLayer(2),
+			reexpress.UnsharedFilesLayer(reexpress.DefaultUnsharedPaths...),
+		)
+	case Config4UIDVariation:
+		pair := reexpress.UIDVariation().Pair
+		if s.Pair != nil {
+			pair = *s.Pair
+		}
+		return reexpress.FullStack(pair.Funcs())
+	}
+	return nil
+}
+
+// Variants returns the group's process-group size.
+func (s GroupSpec) Variants() int {
+	if d := s.diversity(); d != nil {
+		return d.N()
+	}
+	return s.Config.Variants()
 }
 
 // Build prepares the world and returns the variant programs plus
@@ -114,38 +147,54 @@ func BuildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Opti
 		return []sys.Program{httpd.New(o, httpd.Consts{Root: vos.Root})}, nil, nil
 
 	case Config3AddressSpace:
-		// Untransformed program, two variants in disjoint address
-		// partitions, kernel configured for unshared files (identity
-		// contents) — the paper's baseline for added-variation cost.
-		idFuncs := []reexpress.Func{reexpress.Identity{}, reexpress.Identity{}}
-		if err := nvkernel.SetupUnsharedPasswd(world, idFuncs); err != nil {
-			return nil, nil, err
+		// Untransformed program, N variants in disjoint address slots,
+		// kernel configured for unshared files (identity contents) —
+		// the paper's baseline for added-variation cost. The programs
+		// carry untransformed constants, so a UID layer would violate
+		// normal equivalence here.
+		d := spec.diversity()
+		if d.HasLayer(reexpress.LayerUID) {
+			return nil, nil, fmt.Errorf("harness: configuration 3 runs untransformed variants; a UID layer needs configuration 4")
 		}
-		progs := []sys.Program{
-			httpd.New(serverOpts, httpd.Consts{Root: vos.Root}),
-			httpd.New(serverOpts, httpd.Consts{Root: vos.Root}),
+		n := d.N()
+		if d.HasLayer(reexpress.LayerUnsharedFiles) {
+			idFuncs := make([]reexpress.Func, n)
+			for i := range idFuncs {
+				idFuncs[i] = reexpress.Identity{}
+			}
+			if err := nvkernel.SetupUnsharedPasswd(world, idFuncs); err != nil {
+				return nil, nil, err
+			}
 		}
-		opts := []nvkernel.Option{
-			nvkernel.WithAddressPartition(),
-			nvkernel.WithUnsharedFiles("/etc/passwd", "/etc/group"),
+		progs := make([]sys.Program, n)
+		for i := range progs {
+			progs[i] = httpd.New(serverOpts, httpd.Consts{Root: vos.Root})
 		}
-		return progs, opts, nil
+		return progs, []nvkernel.Option{nvkernel.WithSpec(d)}, nil
 
 	case Config4UIDVariation:
-		pair := spec.uidPair()
-		if err := nvkernel.SetupUnsharedPasswd(world, pair.Funcs()); err != nil {
-			return nil, nil, err
+		// The full system: every layer of the group's DiversitySpec is
+		// materialized — variant programs are built with the spec's
+		// (composed) UID functions, the diversified passwd/group files
+		// are written for every variant, and the kernel is configured
+		// from the same spec.
+		d := spec.diversity()
+		if d.HasLayer(reexpress.LayerUID) && !d.HasLayer(reexpress.LayerUnsharedFiles) {
+			// Reexpressed UID constants with shared system databases
+			// would alarm on the first benign passwd lookup.
+			return nil, nil, fmt.Errorf("harness: a UID layer requires the unshared-files layer (normal equivalence, §3.4)")
 		}
-		progs, err := httpd.BuildVariants(serverOpts, pair.Funcs())
+		funcs := d.UIDFuncs()
+		if d.HasLayer(reexpress.LayerUnsharedFiles) {
+			if err := nvkernel.SetupUnsharedPasswd(world, funcs); err != nil {
+				return nil, nil, err
+			}
+		}
+		progs, err := httpd.BuildFromSpec(serverOpts, d)
 		if err != nil {
 			return nil, nil, err
 		}
-		opts := []nvkernel.Option{
-			nvkernel.WithAddressPartition(),
-			nvkernel.WithUIDVariation(pair),
-			nvkernel.WithUnsharedFiles("/etc/passwd", "/etc/group"),
-		}
-		return progs, opts, nil
+		return progs, []nvkernel.Option{nvkernel.WithSpec(d)}, nil
 
 	default:
 		return nil, nil, fmt.Errorf("harness: unknown configuration %d", spec.Config)

@@ -7,6 +7,8 @@ import (
 	"nvariant/internal/attack"
 	"nvariant/internal/httpd"
 	"nvariant/internal/nvkernel"
+	"nvariant/internal/reexpress"
+	"nvariant/internal/simnet"
 	"nvariant/internal/vos"
 )
 
@@ -382,5 +384,88 @@ func TestCompositionDetectsBothAttackClasses(t *testing.T) {
 	}
 	if res.Alarm == nil || res.Alarm.Reason != nvkernel.ReasonUIDDivergence {
 		t.Fatalf("alarm = %+v, want uid-divergence (garbage UID decodes differently)", res.Alarm)
+	}
+}
+
+// --- DiversitySpec-driven groups ---------------------------------------
+
+func TestSpecDrivenGroupServesAndDetectsAtEveryN(t *testing.T) {
+	// The full configuration-4 stack at N ∈ {2,3,4,5}: benign requests
+	// must be served with no false alarm, and the planted UID-forging
+	// attack must be detected at every N.
+	for n := 2; n <= 5; n++ {
+		spec := reexpress.Generate(int64(40+n), n,
+			reexpress.LayerUID, reexpress.LayerAddressPartition, reexpress.LayerUnsharedFiles)
+		h, err := StartSpec(simnet.New(0), GroupSpec{
+			Config:    Config4UIDVariation,
+			Diversity: spec,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: start: %v", n, err)
+		}
+		cl := h.Client()
+		if code, _, err := cl.Get("/index.html"); err != nil || code != 200 {
+			t.Fatalf("n=%d: benign request = %d, %v", n, code, err)
+		}
+		if _, err := cl.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+			t.Fatalf("n=%d: overflow: %v", n, err)
+		}
+		_, _, _ = cl.Get("/private/secret.html") // trigger first use of the forged UID
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("n=%d: wait: %v", n, err)
+		}
+		if res.Alarm == nil || res.Alarm.Reason != nvkernel.ReasonUIDDivergence {
+			t.Fatalf("n=%d: alarm = %v, want uid-divergence", n, res.Alarm)
+		}
+	}
+}
+
+func TestGroupSpecVariants(t *testing.T) {
+	if got := (GroupSpec{Config: Config4UIDVariation}).Variants(); got != 2 {
+		t.Errorf("default config4 variants = %d, want 2", got)
+	}
+	spec := reexpress.Generate(7, 4, reexpress.LayerUID, reexpress.LayerUnsharedFiles)
+	if got := (GroupSpec{Config: Config4UIDVariation, Diversity: spec}).Variants(); got != 4 {
+		t.Errorf("spec-driven variants = %d, want 4", got)
+	}
+	if got := (GroupSpec{Config: Config1Unmodified}).Variants(); got != 1 {
+		t.Errorf("config1 variants = %d, want 1", got)
+	}
+}
+
+func TestConfig4RejectsUIDLayerWithoutUnsharedFiles(t *testing.T) {
+	spec := reexpress.Generate(11, 2) // UID layer only
+	world, err := vos.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildSpec(world, GroupSpec{Config: Config4UIDVariation, Diversity: spec}); err == nil {
+		t.Fatal("UID layer without unshared files accepted (would false-alarm on passwd lookup)")
+	}
+}
+
+func TestConfig3RejectsUIDLayer(t *testing.T) {
+	spec := reexpress.Generate(11, 2, reexpress.LayerUID, reexpress.LayerUnsharedFiles)
+	world, err := vos.NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildSpec(world, GroupSpec{Config: Config3AddressSpace, Diversity: spec}); err == nil {
+		t.Fatal("config 3 accepted a UID layer over untransformed programs")
+	}
+}
+
+func TestDeprecatedPairFieldStillWorks(t *testing.T) {
+	// Pre-DiversitySpec call sites pass a raw Pair; it must still
+	// select the group's representations.
+	pair := reexpress.UIDVariation().Pair
+	h, err := StartSpec(simnet.New(0), GroupSpec{Config: Config4UIDVariation, Pair: &pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _, _ = h.Stop() }()
+	if code, _, err := h.Client().Get("/index.html"); err != nil || code != 200 {
+		t.Fatalf("request = %d, %v", code, err)
 	}
 }

@@ -118,6 +118,13 @@ func BuildVariants(opts Options, funcs []reexpress.Func) ([]sys.Program, error) 
 	return progs, nil
 }
 
+// BuildFromSpec builds one transformed server per variant of a
+// DiversitySpec, applying the spec's effective (stack-composed) UID
+// function of each variant to the program's constants.
+func BuildFromSpec(opts Options, spec *reexpress.Spec) ([]sys.Program, error) {
+	return BuildVariants(opts, spec.UIDFuncs())
+}
+
 // Name implements sys.Program.
 func (s *Server) Name() string { return "httpd" }
 

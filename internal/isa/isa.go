@@ -406,15 +406,18 @@ func (v *VM) Run(maxSteps int) error {
 	return fmt.Errorf("isa: step budget (%d) exhausted", maxSteps)
 }
 
-// RunPair executes both variants of a 2-variant tagged deployment on
-// the same injected input and reports divergence: it returns the
-// outputs and a non-nil alarm error if any variant faulted or the
-// outputs differ — the monitor's view of Table 1's instruction-set
-// tagging row.
-func RunPair(canonical []word.Word, pair reexpress.Pair, inject []word.Word, injectAt int, maxSteps int) ([2][]word.Word, error) {
-	var outs [2][]word.Word
-	var vms [2]*VM
-	for i, f := range pair.Funcs() {
+// RunN executes one tagged variant per reexpression function on the
+// same injected input and reports divergence: it returns the
+// per-variant outputs and a non-nil alarm error if any variant faulted
+// or any two outputs differ — the monitor's view of Table 1's
+// instruction-set tagging row, generalized to N variants (a
+// DiversitySpec's instruction-tag layer deploys here, not under the
+// syscall monitor).
+func RunN(canonical []word.Word, funcs []reexpress.Func, inject []word.Word, injectAt int, maxSteps int) ([][]word.Word, error) {
+	n := len(funcs)
+	outs := make([][]word.Word, n)
+	vms := make([]*VM, n)
+	for i, f := range funcs {
 		img, err := TagImage(canonical, f)
 		if err != nil {
 			return outs, err
@@ -427,21 +430,47 @@ func RunPair(canonical []word.Word, pair reexpress.Pair, inject []word.Word, inj
 		}
 		vms[i] = vm
 	}
-	var errs [2]error
+	errs := make([]error, n)
+	faulted := false
 	for i, vm := range vms {
 		errs[i] = vm.Run(maxSteps)
 		outs[i] = vm.Output
+		if errs[i] != nil {
+			faulted = true
+		}
 	}
-	if errs[0] != nil || errs[1] != nil {
-		return outs, fmt.Errorf("isa: variant divergence: v0=%v, v1=%v", errs[0], errs[1])
+	if faulted {
+		return outs, fmt.Errorf("isa: variant divergence: %v", errs)
 	}
-	if len(outs[0]) != len(outs[1]) {
-		return outs, fmt.Errorf("isa: output length divergence: %d vs %d", len(outs[0]), len(outs[1]))
-	}
-	for i := range outs[0] {
-		if outs[0][i] != outs[1][i] {
-			return outs, fmt.Errorf("isa: output divergence at %d: %s vs %s", i, outs[0][i], outs[1][i])
+	for i := 1; i < n; i++ {
+		if len(outs[i]) != len(outs[0]) {
+			return outs, fmt.Errorf("isa: output length divergence: variant %d emitted %d words, variant 0 %d", i, len(outs[i]), len(outs[0]))
+		}
+		for j := range outs[0] {
+			if outs[i][j] != outs[0][j] {
+				return outs, fmt.Errorf("isa: output divergence at %d: variant %d %s vs variant 0 %s", j, i, outs[i][j], outs[0][j])
+			}
 		}
 	}
 	return outs, nil
+}
+
+// RunSpec deploys a DiversitySpec's instruction-tag layer: one tagged
+// variant per effective (stack-composed) tag function.
+func RunSpec(canonical []word.Word, spec *reexpress.Spec, inject []word.Word, injectAt int, maxSteps int) ([][]word.Word, error) {
+	funcs := spec.FuncsFor(reexpress.LayerInstructionTags)
+	if funcs == nil {
+		return nil, fmt.Errorf("isa: spec has no instruction-tag layer: %s", spec)
+	}
+	return RunN(canonical, funcs, inject, injectAt, maxSteps)
+}
+
+// RunPair is RunN for the two-variant deployments of the paper.
+func RunPair(canonical []word.Word, pair reexpress.Pair, inject []word.Word, injectAt int, maxSteps int) ([2][]word.Word, error) {
+	var outs [2][]word.Word
+	res, err := RunN(canonical, pair.Funcs(), inject, injectAt, maxSteps)
+	for i := 0; i < len(res) && i < 2; i++ {
+		outs[i] = res[i]
+	}
+	return outs, err
 }

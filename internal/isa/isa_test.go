@@ -285,3 +285,49 @@ func TestOpString(t *testing.T) {
 		t.Error("op names wrong")
 	}
 }
+
+func TestRunSpecNVariantTagging(t *testing.T) {
+	code, err := Assemble(`
+    movi r1, 7
+    out  r1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := reexpress.NewSpec(3, reexpress.InstructionTagLayer(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benign: all three tagged variants produce identical output.
+	outs, err := RunSpec(code, spec, nil, 0, 100)
+	if err != nil {
+		t.Fatalf("benign 3-variant run alarmed: %v", err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	for i, o := range outs {
+		if len(o) != 1 || o[0] != 7 {
+			t.Errorf("variant %d output = %v", i, o)
+		}
+	}
+	// Injected untagged code is valid in at most one variant's tag
+	// space: the group must diverge.
+	inject, err := Assemble(`
+    movi r1, 9
+    out  r1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpec(code, spec, inject, 0, 100); err == nil {
+		t.Fatal("injected untagged code not detected at N=3")
+	}
+	// A spec without the layer is refused.
+	uidOnly := reexpress.Generate(5, 3)
+	if _, err := RunSpec(code, uidOnly, nil, 0, 100); err == nil {
+		t.Fatal("spec without an instruction-tag layer accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvariant/internal/reexpress"
 	"nvariant/internal/simnet"
 	"nvariant/internal/sys"
 	"nvariant/internal/vmem"
@@ -81,23 +82,47 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 	if len(cfg.UIDFuncs) != n {
 		return nil, fmt.Errorf("nvkernel: %d UID funcs for %d variants", len(cfg.UIDFuncs), n)
 	}
+	if cfg.Spec != nil {
+		if cfg.Spec.N() != n {
+			// A width mismatch would deploy a partition layout and
+			// record a configuration different from what the spec was
+			// validated for.
+			return nil, fmt.Errorf("nvkernel: spec describes %d variants, got %d programs", cfg.Spec.N(), n)
+		}
+		if cfg.Spec.HasLayer(reexpress.LayerInstructionTags) {
+			// Variants here are native programs; instruction words only
+			// exist on the tagged-ISA substrate. Refusing is better
+			// than reporting a security layer as deployed while
+			// ignoring it.
+			return nil, fmt.Errorf("nvkernel: instruction-tag layers deploy on the isa substrate (isa.RunSpec), not under the monitor kernel")
+		}
+	}
+
+	// Address canonicalization width: the two-variant construction
+	// clears the single high (partition) bit; N > 2 partitioned groups
+	// clear the ⌈log₂N⌉ slot-index bits instead.
+	addrBits := 1
+	if cfg.AddressPartition && n > 2 {
+		addrBits = vmem.PartitionBits(n)
+	}
 
 	s := &system{
-		world: world,
-		net:   net,
-		cfg:   cfg,
-		n:     n,
-		cred:  cfg.Cred,
+		world:    world,
+		net:      net,
+		cfg:      cfg,
+		n:        n,
+		cred:     cfg.Cred,
+		addrBits: addrBits,
 	}
 
 	variants := make([]*variantRT, n)
 	for i := 0; i < n; i++ {
 		part := vmem.PartitionNone
 		if cfg.AddressPartition {
-			if i == 0 {
-				part = vmem.PartitionLow
-			} else {
-				part = vmem.PartitionHigh
+			var err error
+			part, err = vmem.PartitionSlot(i, n)
+			if err != nil {
+				return nil, fmt.Errorf("nvkernel: partition variant %d of %d: %w", i, n, err)
 			}
 		}
 		variants[i] = &variantRT{
@@ -193,9 +218,10 @@ type system struct {
 	n        int
 	variants []*variantRT
 
-	cred  vos.Cred
-	files []fileEntry
-	vtime word.Word
+	cred     vos.Cred
+	files    []fileEntry
+	vtime    word.Word
+	addrBits int
 
 	stdout, stderr []byte
 
@@ -412,7 +438,7 @@ func (s *system) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.
 				}
 				cv = inv
 			case sys.ArgAddr:
-				cv = vmem.Canonical(raw)
+				cv = vmem.CanonicalIn(raw, s.addrBits)
 			default:
 				cv = raw
 			}

@@ -953,3 +953,146 @@ func TestUnsharedReadDifferentLengths(t *testing.T) {
 		t.Fatalf("status=%d alarm=%v", res.Status, res.Alarm)
 	}
 }
+
+// --- DiversitySpec: N-wide groups through WithSpec --------------------
+
+// specN builds a validated N-variant spec with a generated UID layer
+// and N-way address partitioning.
+func specN(t *testing.T, n int) *reexpress.Spec {
+	t.Helper()
+	return reexpress.Generate(int64(1000+n), n, reexpress.LayerUID, reexpress.LayerAddressPartition)
+}
+
+func TestSpecNormalEquivalenceAtEveryN(t *testing.T) {
+	// N identical variants under a generated spec must run clean on
+	// benign input: getuid/setuid round-trips canonicalize per variant.
+	for n := 2; n <= 5; n++ {
+		w := newWorld(t)
+		res := mustRun(t, w, same(n, "equiv", func(ctx *sys.Context) error {
+			uid, err := ctx.Getuid()
+			if err != nil {
+				return err
+			}
+			if err := ctx.Setuid(uid); err != nil {
+				return err
+			}
+			if _, err := ctx.Mem.Alloc(4096); err != nil {
+				return err
+			}
+			return ctx.Exit(0)
+		}), WithSpec(specN(t, n)))
+		if !res.Clean {
+			t.Fatalf("n=%d: benign run alarmed: %v", n, res.Alarm)
+		}
+	}
+}
+
+func TestSpecInjectedUIDDetectedAtEveryN(t *testing.T) {
+	// The detection property N-wide: an identical injected concrete
+	// UID cannot decode consistently in any two variants.
+	for n := 2; n <= 5; n++ {
+		w := newWorld(t)
+		res := mustRun(t, w, same(n, "injected", func(ctx *sys.Context) error {
+			if _, err := ctx.UIDValue(0); err != nil {
+				return err
+			}
+			return ctx.Exit(0)
+		}), WithSpec(specN(t, n)))
+		if res.Alarm == nil || res.Alarm.Reason != ReasonUIDDivergence {
+			t.Fatalf("n=%d: alarm = %v, want uid-divergence", n, res.Alarm)
+		}
+	}
+}
+
+func TestSpecAddressInjectionDetectedBeyondTwo(t *testing.T) {
+	// An injected absolute address is valid in at most one variant's
+	// slot; dereferencing it in the others segfaults (Figure 1,
+	// generalized to a 4-way split).
+	n := 3
+	injected := word.Word(0x00002000)
+	w := newWorld(t)
+	res := mustRun(t, w, same(n, "deref", func(ctx *sys.Context) error {
+		if _, err := ctx.Mem.Alloc(8192); err != nil {
+			return err
+		}
+		if _, err := ctx.Mem.LoadByte(injected); err != nil {
+			return err
+		}
+		return ctx.Exit(0)
+	}), WithSpec(specN(t, n)))
+	if res.Alarm == nil {
+		t.Fatal("n=3: injected address not detected")
+	}
+}
+
+func TestWithSpecComposesWithOptions(t *testing.T) {
+	// A UID-only spec must not clobber separately-set options.
+	cfg := defaultConfig(2)
+	WithUnsharedFiles("/etc/passwd")(&cfg)
+	WithSpec(reexpress.UncheckedSpec(2, reexpress.UIDLayer(reexpress.UIDVariation().Pair.Funcs()...)))(&cfg)
+	if !cfg.Unshared["/etc/passwd"] {
+		t.Error("spec clobbered the unshared-file set")
+	}
+	if cfg.AddressPartition {
+		t.Error("UID-only spec enabled address partitioning")
+	}
+	if len(cfg.UIDFuncs) != 2 || cfg.UIDFuncs[1].Name() != reexpress.UIDVariation().Pair.R1.Name() {
+		t.Errorf("UID funcs not installed: %v", cfg.UIDFuncs)
+	}
+	if cfg.Spec == nil {
+		t.Error("spec not recorded in the config")
+	}
+}
+
+func TestRunRefusesInstructionTagLayer(t *testing.T) {
+	// The kernel's variants are native programs; a spec advertising
+	// instruction tagging must be refused rather than silently
+	// deployed without it (the isa substrate runs that layer).
+	spec, err := reexpress.NewSpec(2,
+		reexpress.UIDLayer(reexpress.UIDVariation().Pair.Funcs()...),
+		reexpress.InstructionTagLayer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t)
+	_, err = Run(w, simnet.New(0), same(2, "noop", func(ctx *sys.Context) error {
+		return ctx.Exit(0)
+	}), WithSpec(spec))
+	if err == nil {
+		t.Fatal("instruction-tag layer accepted by the monitor kernel")
+	}
+}
+
+func TestRunRefusesSpecWidthMismatch(t *testing.T) {
+	// A spec validated for 3 variants must not deploy over 2 programs:
+	// the partition layout and the recorded configuration would both
+	// be wrong.
+	spec := reexpress.UncheckedSpec(3, reexpress.AddressPartitionLayer(3))
+	w := newWorld(t)
+	_, err := Run(w, simnet.New(0), same(2, "noop", func(ctx *sys.Context) error {
+		return ctx.Exit(0)
+	}), WithSpec(spec))
+	if err == nil {
+		t.Fatal("3-variant spec accepted over 2 programs")
+	}
+}
+
+func TestUIDFuncsOverrideKeepsDeploymentSpec(t *testing.T) {
+	// WithUIDFuncs after WithSpec overrides the UID layer only: the
+	// deployment spec stays recorded, so Run's spec checks (e.g. the
+	// instruction-tags refusal) cannot be bypassed by stacking an
+	// adapter option.
+	tagSpec, err := reexpress.NewSpec(2,
+		reexpress.UIDLayer(reexpress.UIDVariation().Pair.Funcs()...),
+		reexpress.InstructionTagLayer(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorld(t)
+	_, err = Run(w, simnet.New(0), same(2, "noop", func(ctx *sys.Context) error {
+		return ctx.Exit(0)
+	}), WithSpec(tagSpec), WithUIDFuncs(reexpress.Identity{}, reexpress.Identity{}))
+	if err == nil {
+		t.Fatal("instruction-tags refusal bypassed by a trailing WithUIDFuncs")
+	}
+}

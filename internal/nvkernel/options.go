@@ -9,13 +9,17 @@ import (
 )
 
 // Config collects the kernel configuration for one N-variant process
-// group. Construct via options passed to Run.
+// group. Construct via options passed to Run. WithSpec is the primary
+// configuration path: it materializes a DiversitySpec's variation
+// stack onto the fields below (which remain settable individually for
+// ablations and baselines).
 type Config struct {
 	// UIDFuncs holds each variant's UID reexpression function. Length
 	// must equal the number of variants; defaults to identity for all.
 	UIDFuncs []reexpress.Func
 	// AddressPartition places variant i's simulated address space in
-	// partition i (variant 0 low, variant 1 high).
+	// slot i of the 2^⌈log₂N⌉-way split (the paper's low/high halves
+	// when N = 2).
 	AddressPartition bool
 	// Unshared is the set of paths with per-variant file versions
 	// ("/etc/passwd" is served as "/etc/passwd-0" / "/etc/passwd-1").
@@ -25,6 +29,9 @@ type Config struct {
 	Timeout time.Duration
 	// Cred is the initial (real) credential set of the process group.
 	Cred vos.Cred
+	// Spec records the DiversitySpec the group was configured from
+	// (nil when configured through individual options only).
+	Spec *reexpress.Spec
 }
 
 // Option configures Run.
@@ -44,20 +51,47 @@ func defaultConfig(n int) Config {
 	}
 }
 
-// WithUIDVariation installs the UID data variation: variant i's
-// trusted UID data is reexpressed with pair's function i and the
-// kernel applies the inverse at every UID-bearing syscall.
-func WithUIDVariation(pair reexpress.Pair) Option {
+// WithSpec configures the group from a DiversitySpec, materializing
+// each layer of its variation stack: the UID layer's (composed)
+// per-variant functions, address partitioning, and unshared files.
+// Layers absent from the stack leave the corresponding fields
+// untouched, so a spec composes with individually-set options.
+func WithSpec(s *reexpress.Spec) Option {
 	return func(c *Config) {
-		c.UIDFuncs = pair.Funcs()
+		c.Spec = s
+		if funcs := s.FuncsFor(reexpress.LayerUID); funcs != nil {
+			c.UIDFuncs = funcs
+		}
+		if s.HasLayer(reexpress.LayerAddressPartition) {
+			c.AddressPartition = true
+		}
+		for _, p := range s.UnsharedPaths() {
+			c.Unshared[p] = true
+		}
 	}
 }
 
+// WithUIDVariation installs the UID data variation: variant i's
+// trusted UID data is reexpressed with pair's function i and the
+// kernel applies the inverse at every UID-bearing syscall.
+//
+// Deprecated-style adapter: it builds a single UID layer under the
+// hood; new code should construct a DiversitySpec and use WithSpec.
+func WithUIDVariation(pair reexpress.Pair) Option {
+	return WithUIDFuncs(pair.Funcs()...)
+}
+
 // WithUIDFuncs installs explicit per-variant UID functions (for N≠2 or
-// ablation experiments).
+// ablation experiments). Like WithUIDVariation it is a thin adapter
+// that builds an unchecked UID layer — ablations deliberately install
+// property-violating functions, so no validation runs here. Unlike
+// WithSpec it does not record a deployment spec: it composes with an
+// earlier WithSpec as a per-layer override without erasing what the
+// spec otherwise deployed.
 func WithUIDFuncs(funcs ...reexpress.Func) Option {
+	layer := reexpress.UIDLayer(funcs...)
 	return func(c *Config) {
-		c.UIDFuncs = append([]reexpress.Func(nil), funcs...)
+		c.UIDFuncs = append([]reexpress.Func(nil), layer.Funcs...)
 	}
 }
 

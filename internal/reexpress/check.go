@@ -52,6 +52,60 @@ func CheckDisjoint(f0, f1 Func, samples []word.Word) error {
 	return nil
 }
 
+// CheckDisjointN verifies the N-wide pairwise disjointness property
+// (§2.3 generalized to N variants): for every concrete value y and
+// every pair i ≠ j, R⁻¹ᵢ(y) and R⁻¹ⱼ(y) must not both succeed with
+// equal results. A failed inversion is an alarm state and therefore
+// counts as divergence, i.e. detection.
+func CheckDisjointN(funcs []Func, samples []word.Word) error {
+	n := len(funcs)
+	vals := make([]word.Word, n)
+	ok := make([]bool, n)
+	for _, y := range samples {
+		for i, f := range funcs {
+			v, err := f.Invert(y)
+			vals[i], ok[i] = v, err == nil
+		}
+		for i := 0; i < n; i++ {
+			if !ok[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if ok[j] && vals[i] == vals[j] {
+					return &DivergenceError{
+						Value: y,
+						Detail: fmt.Sprintf("disjointness violated: %s (variant %d) and %s (variant %d) both invert to %s",
+							funcs[i].Name(), i, funcs[j].Name(), j, vals[i]),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSpec runs the construction-time property checks of a spec: for
+// every diversified layer kind in the stack, the effective (composed)
+// per-variant functions must satisfy the inverse property and N-wide
+// pairwise disjointness over the given samples.
+func CheckSpec(s *Spec, samples []word.Word) error {
+	for _, kind := range []LayerKind{LayerUID, LayerAddressPartition, LayerInstructionTags} {
+		funcs := s.FuncsFor(kind)
+		if funcs == nil {
+			continue
+		}
+		for i, f := range funcs {
+			if err := CheckInverse(f, samples); err != nil {
+				return fmt.Errorf("%s layer, variant %d: %w", kind, i, err)
+			}
+		}
+		if err := CheckDisjointN(funcs, samples); err != nil {
+			return fmt.Errorf("%s layer: %w", kind, err)
+		}
+	}
+	return nil
+}
+
 // CheckPair runs both property checks on a variant pair.
 func CheckPair(p Pair, samples []word.Word) error {
 	if err := CheckInverse(p.R0, samples); err != nil {

@@ -1,0 +1,648 @@
+package reexpress
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"nvariant/internal/word"
+)
+
+// Spec — the DiversitySpec of the public API — is the single way to
+// describe a diversified deployment: N ≥ 2 variants, each carrying the
+// same ordered stack of typed variation layers. The paper states its
+// security argument for arbitrary N (§2) and discusses stacking
+// variations (§5); a Spec makes both first-class. Construct with
+// NewSpec (explicit, validated), FromVariation (a Table 1 row), or
+// Generate (randomized, the fleet's per-replacement source).
+//
+// A validated Spec guarantees, per diversified layer kind, the two
+// properties the detection argument needs, generalized N-wide:
+//
+//   - inverse (§2.2):      ∀i, ∀x in domain: R⁻¹ᵢ(Rᵢ(x)) ≡ x
+//   - disjointness (§2.3): ∀x, ∀i≠j: R⁻¹ᵢ(x) ≠ R⁻¹ⱼ(x), or at least
+//     one of the inversions fails (an alarm state)
+type Spec struct {
+	n      int
+	layers []Layer
+}
+
+// LayerKind classifies one variation layer of a Spec.
+type LayerKind int
+
+// Layer kinds: the variation techniques a spec can stack.
+const (
+	// LayerUID diversifies UID-typed data (Table 1 row 4, the paper's
+	// contribution).
+	LayerUID LayerKind = iota + 1
+	// LayerAddressPartition places each variant's address space in a
+	// disjoint slot (Table 1 rows 1–2, generalized from two halves to
+	// 2^k slots for N variants).
+	LayerAddressPartition
+	// LayerUnsharedFiles gives each variant its own diversified copy of
+	// the listed files (§3.4).
+	LayerUnsharedFiles
+	// LayerInstructionTags tags instruction words with the variant
+	// index (Table 1 row 3, generalized to multi-bit tags).
+	LayerInstructionTags
+)
+
+// String names the layer kind.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerUID:
+		return "uid"
+	case LayerAddressPartition:
+		return "address-partition"
+	case LayerUnsharedFiles:
+		return "unshared-files"
+	case LayerInstructionTags:
+		return "instruction-tags"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseStack parses a comma-separated variation-stack description into
+// layer kinds. Accepted tokens (with aliases): "uid", "addr"
+// ("address"), "files" ("unshared"), "tags" ("instr").
+func ParseStack(csv string) ([]LayerKind, error) {
+	var out []LayerKind
+	for _, tok := range strings.Split(csv, ",") {
+		tok = strings.ToLower(strings.TrimSpace(tok))
+		if tok == "" {
+			continue
+		}
+		switch tok {
+		case "uid":
+			out = append(out, LayerUID)
+		case "addr", "address", "address-partition":
+			out = append(out, LayerAddressPartition)
+		case "files", "unshared", "unshared-files":
+			out = append(out, LayerUnsharedFiles)
+		case "tags", "instr", "instruction-tags":
+			out = append(out, LayerInstructionTags)
+		default:
+			return nil, fmt.Errorf("reexpress: unknown stack layer %q (want uid, addr, files, or tags)", tok)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("reexpress: empty variation stack")
+	}
+	return out, nil
+}
+
+// Layer is one variation in a spec's stack. Reexpression layers (UID,
+// address partition, instruction tags) carry one function per variant;
+// the unshared-files layer carries the diversified paths.
+type Layer struct {
+	// Kind classifies the variation.
+	Kind LayerKind
+	// Funcs holds R₀..R_{N-1} for reexpression layers (len == spec N).
+	Funcs []Func
+	// Paths lists the diversified files for LayerUnsharedFiles.
+	Paths []string
+}
+
+// UIDLayer builds a UID variation layer from per-variant functions.
+func UIDLayer(funcs ...Func) Layer {
+	return Layer{Kind: LayerUID, Funcs: append([]Func(nil), funcs...)}
+}
+
+// AddressPartitionLayer builds an N-way address partitioning layer:
+// variant i's addresses live in slot i of the 2^SlotBits(n)-way split
+// of the address space.
+func AddressPartitionLayer(n int) Layer {
+	b := SlotBits(n)
+	funcs := make([]Func, n)
+	for i := range funcs {
+		funcs[i] = Slot{Index: i, Bits: b}
+	}
+	return Layer{Kind: LayerAddressPartition, Funcs: funcs}
+}
+
+// UnsharedFilesLayer builds an unshared-files layer over the given
+// paths (§3.4).
+func UnsharedFilesLayer(paths ...string) Layer {
+	return Layer{Kind: LayerUnsharedFiles, Paths: append([]string(nil), paths...)}
+}
+
+// InstructionTagLayer builds an N-way instruction tagging layer:
+// variant i's instruction words carry tag i in their top SlotBits(n)
+// bits.
+func InstructionTagLayer(n int) Layer {
+	b := SlotBits(n)
+	funcs := make([]Func, n)
+	for i := range funcs {
+		funcs[i] = Slot{Index: i, Bits: b}
+	}
+	return Layer{Kind: LayerInstructionTags, Funcs: funcs}
+}
+
+// DefaultUnsharedPaths are the diversified system databases of the
+// paper's §4 deployment.
+var DefaultUnsharedPaths = []string{"/etc/passwd", "/etc/group"}
+
+// SlotBits returns the number of index bits needed to give n variants
+// disjoint slots of the word space (minimum 1, i.e. the paper's
+// two-halves split). It delegates to word.SlotBits, the shared source
+// of truth vmem's address partitions are built from.
+func SlotBits(n int) int { return word.SlotBits(n) }
+
+// Slot reexpresses a value by placing a variant index in its top Bits
+// bits — the N-wide generalization of both address-space partitioning
+// (slot = address partition) and instruction tagging (slot = tag).
+// Canonical values must fit in the remaining low bits; a concrete
+// value whose top bits name a different slot is invalid for this
+// variant and inverting it faults, which is the alarm state the
+// monitor observes. At most one variant can invert any given value, so
+// pairwise disjointness holds by construction.
+type Slot struct {
+	// Index is this variant's slot number, in [0, 2^Bits).
+	Index int
+	// Bits is the slot-index width in bits, in [1, word.Bits).
+	Bits int
+}
+
+var _ Func = Slot{}
+
+// Name implements Func.
+func (f Slot) Name() string { return fmt.Sprintf("slot(%d/%d)", f.Index, 1<<f.Bits) }
+
+// shift returns the bit position of the slot index.
+func (f Slot) shift() uint { return uint(word.Bits - f.Bits) }
+
+// Apply implements Func: R(x) = index || x.
+func (f Slot) Apply(x word.Word) (word.Word, error) {
+	if !f.Domain(x) {
+		return 0, fmt.Errorf("apply %s to %s: %w", f.Name(), x, ErrOutOfDomain)
+	}
+	return x | word.Word(f.Index)<<f.shift(), nil
+}
+
+// Invert implements Func: checks the slot index, faults on mismatch,
+// and strips it.
+func (f Slot) Invert(y word.Word) (word.Word, error) {
+	if int(y>>f.shift()) != f.Index {
+		// Formatting is deferred: spec validation inverts tens of
+		// thousands of out-of-slot samples on the fleet's replacement
+		// path, where an eagerly formatted error would dominate the
+		// whole generation cost.
+		return 0, &slotFaultError{f: f, y: y}
+	}
+	return y &^ (word.Max << f.shift()), nil
+}
+
+// slotFaultError reports an out-of-slot value with lazy formatting.
+type slotFaultError struct {
+	f Slot
+	y word.Word
+}
+
+// Error implements the error interface.
+func (e *slotFaultError) Error() string {
+	return fmt.Sprintf("invert %s on %s: value outside this variant's slot: %v", e.f.Name(), e.y, ErrOutOfDomain)
+}
+
+// Unwrap keeps errors.Is(err, ErrOutOfDomain) working.
+func (e *slotFaultError) Unwrap() error { return ErrOutOfDomain }
+
+// Domain implements Func: canonical values occupy the low bits.
+func (f Slot) Domain(x word.Word) bool { return x>>f.shift() == 0 }
+
+// Compose returns the composition of the given functions as a single
+// Func: Apply runs them in argument order, Invert in reverse. An empty
+// composition is the identity. This is how a stacked spec (§5) derives
+// the effective per-variant function of a layer kind.
+func Compose(fs ...Func) Func {
+	switch len(fs) {
+	case 0:
+		return Identity{}
+	case 1:
+		return fs[0]
+	}
+	return composed(append([]Func(nil), fs...))
+}
+
+// composed chains reexpression functions.
+type composed []Func
+
+var _ Func = composed{}
+
+// Name implements Func.
+func (c composed) Name() string {
+	names := make([]string, len(c))
+	for i, f := range c {
+		names[i] = f.Name()
+	}
+	return strings.Join(names, "∘")
+}
+
+// Apply implements Func, applying each function in order.
+func (c composed) Apply(x word.Word) (word.Word, error) {
+	v := x
+	for _, f := range c {
+		var err error
+		if v, err = f.Apply(v); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// Invert implements Func, inverting in reverse order.
+func (c composed) Invert(y word.Word) (word.Word, error) {
+	v := y
+	for i := len(c) - 1; i >= 0; i-- {
+		var err error
+		if v, err = c[i].Invert(v); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// Domain implements Func: x is in the composition's domain when the
+// whole Apply chain is.
+func (c composed) Domain(x word.Word) bool {
+	v := x
+	for _, f := range c {
+		if !f.Domain(v) {
+			return false
+		}
+		var err error
+		if v, err = f.Apply(v); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// UncheckedSpec builds a Spec without running the §2.2/§2.3 property
+// checks. It is the constructor behind the deprecated Pair-based
+// adapters and the ablation experiments, which deliberately deploy
+// undiversified or property-violating stacks; new code should use
+// NewSpec.
+func UncheckedSpec(n int, layers ...Layer) *Spec {
+	copied := make([]Layer, len(layers))
+	for i, l := range layers {
+		copied[i] = Layer{
+			Kind:  l.Kind,
+			Funcs: append([]Func(nil), l.Funcs...),
+			Paths: append([]string(nil), l.Paths...),
+		}
+	}
+	return &Spec{n: n, layers: copied}
+}
+
+// NewSpec builds and validates a Spec for n variants: the shape is
+// checked (n ≥ 2, every reexpression layer carries exactly n
+// functions), then every diversified layer kind is verified against
+// the inverse and N-wide pairwise-disjointness properties over the
+// adversarial BoundarySamples corpus.
+func NewSpec(n int, layers ...Layer) (*Spec, error) {
+	s := UncheckedSpec(n, layers...)
+	if err := s.checkShape(); err != nil {
+		return nil, err
+	}
+	if err := CheckSpec(s, boundarySamples()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkShape validates the structural invariants of a spec.
+func (s *Spec) checkShape() error {
+	if s.n < 2 {
+		return fmt.Errorf("reexpress: spec needs at least 2 variants, got %d", s.n)
+	}
+	if len(s.layers) == 0 {
+		return fmt.Errorf("reexpress: spec has no variation layers")
+	}
+	for li, l := range s.layers {
+		switch l.Kind {
+		case LayerUID, LayerAddressPartition, LayerInstructionTags:
+			if len(l.Funcs) != s.n {
+				return fmt.Errorf("reexpress: layer %d (%s): %d funcs for %d variants", li, l.Kind, len(l.Funcs), s.n)
+			}
+			for i, f := range l.Funcs {
+				if f == nil {
+					return fmt.Errorf("reexpress: layer %d (%s): nil func for variant %d", li, l.Kind, i)
+				}
+			}
+		case LayerUnsharedFiles:
+			if len(l.Paths) == 0 {
+				return fmt.Errorf("reexpress: layer %d (unshared-files): no paths", li)
+			}
+		default:
+			return fmt.Errorf("reexpress: layer %d: unknown kind %d", li, l.Kind)
+		}
+	}
+	return nil
+}
+
+// N returns the variant count.
+func (s *Spec) N() int { return s.n }
+
+// Layers returns the variation stack in order (a copy).
+func (s *Spec) Layers() []Layer {
+	out := make([]Layer, len(s.layers))
+	copy(out, s.layers)
+	return out
+}
+
+// HasLayer reports whether the stack contains a layer of the given
+// kind.
+func (s *Spec) HasLayer(k LayerKind) bool {
+	for _, l := range s.layers {
+		if l.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncsFor returns the effective per-variant functions of the given
+// layer kind: the stack-ordered composition when several layers share
+// the kind, nil when the kind is absent.
+func (s *Spec) FuncsFor(k LayerKind) []Func {
+	var stacked [][]Func
+	for _, l := range s.layers {
+		if l.Kind == k && len(l.Funcs) > 0 {
+			stacked = append(stacked, l.Funcs)
+		}
+	}
+	switch len(stacked) {
+	case 0:
+		return nil
+	case 1:
+		return append([]Func(nil), stacked[0]...)
+	}
+	out := make([]Func, s.n)
+	for i := range out {
+		chain := make([]Func, len(stacked))
+		for j := range stacked {
+			chain[j] = stacked[j][i]
+		}
+		out[i] = Compose(chain...)
+	}
+	return out
+}
+
+// UIDFuncs returns the effective per-variant UID functions, defaulting
+// to identity for every variant when the stack has no UID layer.
+func (s *Spec) UIDFuncs() []Func {
+	if fs := s.FuncsFor(LayerUID); fs != nil {
+		return fs
+	}
+	out := make([]Func, s.n)
+	for i := range out {
+		out[i] = Identity{}
+	}
+	return out
+}
+
+// UnsharedPaths returns the union of the stack's unshared-file paths
+// in first-appearance order.
+func (s *Spec) UnsharedPaths() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, l := range s.layers {
+		if l.Kind != LayerUnsharedFiles {
+			continue
+		}
+		for _, p := range l.Paths {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// VariantName names variant i's effective UID function — what fleet
+// stats and audit logs record about a deployment.
+func (s *Spec) VariantName(i int) string {
+	fs := s.UIDFuncs()
+	if i < 0 || i >= len(fs) {
+		return "(none)"
+	}
+	return fs[i].Name()
+}
+
+// StackString renders the stack kinds compactly ("uid+address-
+// partition+unshared-files").
+func (s *Spec) StackString() string {
+	names := make([]string, len(s.layers))
+	for i, l := range s.layers {
+		names[i] = l.Kind.String()
+	}
+	return strings.Join(names, "+")
+}
+
+// String renders the spec for logs and reports.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec[n=%d", s.n)
+	for _, l := range s.layers {
+		fmt.Fprintf(&b, "; %s", l.Kind)
+		switch l.Kind {
+		case LayerUnsharedFiles:
+			fmt.Fprintf(&b, ": %s", strings.Join(l.Paths, ","))
+		case LayerUID:
+			names := make([]string, len(l.Funcs))
+			for i, f := range l.Funcs {
+				names[i] = f.Name()
+			}
+			fmt.Fprintf(&b, ": %s", strings.Join(names, "|"))
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// FromVariation builds a validated two-variant Spec from a Table 1
+// row.
+func FromVariation(v Variation) (*Spec, error) {
+	var kind LayerKind
+	switch v.Target {
+	case TargetUID:
+		kind = LayerUID
+	case TargetAddress:
+		kind = LayerAddressPartition
+	case TargetInstruction:
+		kind = LayerInstructionTags
+	default:
+		return nil, fmt.Errorf("reexpress: variation %q has unknown target %v", v.Name, v.Target)
+	}
+	return NewSpec(2, Layer{Kind: kind, Funcs: v.Pair.Funcs()})
+}
+
+// FullStack builds the paper's full §4 deployment stack over the given
+// per-variant UID functions: the UID layer plus N-way address
+// partitioning and the unshared passwd/group files. The spec is
+// deliberately unchecked — ablation call sites pass undiversified or
+// property-violating pairs on purpose.
+func FullStack(uidFuncs []Func) *Spec {
+	n := len(uidFuncs)
+	return UncheckedSpec(n,
+		UIDLayer(uidFuncs...),
+		AddressPartitionLayer(n),
+		UnsharedFilesLayer(DefaultUnsharedPaths...),
+	)
+}
+
+// MinMaskBits is the smallest acceptable popcount for a generated UID
+// mask. The paper's mask flips 31 bits; demanding at least half the
+// word keeps the expected detection probability for random partial
+// overwrites high.
+const MinMaskBits = 16
+
+// Generate draws a randomized, validated Spec for n variants from the
+// given seed — the fleet's per-replacement source of fresh
+// representations (it subsumes the old two-variant SelectPair). The
+// stack defaults to a single UID layer; pass explicit kinds to stack
+// further variations (address partitioning, unshared files,
+// instruction tags).
+func Generate(seed int64, n int, stack ...LayerKind) *Spec {
+	return GenerateFrom(rand.New(rand.NewSource(seed)), n, stack...)
+}
+
+// GenerateFrom is Generate over a caller-owned random source, letting
+// a fleet draw a stream of independent specs from one seeded rng.
+//
+// Generated UID masks keep the paper's sign-bit exclusion (so the
+// kernel's negative-UID special cases stay outside the diversified
+// range) and are pairwise byte-distinct in every byte position — a
+// single-byte overwrite therefore diverges between *every* pair of
+// variants, not just against variant 0 — with at least MinMaskBits
+// bits flipped each. The result is verified against the full §2.2/§2.3
+// property checks before use.
+func GenerateFrom(rng *rand.Rand, n int, stack ...LayerKind) *Spec {
+	if n < 2 {
+		n = 2
+	}
+	if len(stack) == 0 {
+		stack = []LayerKind{LayerUID}
+	}
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		layers := make([]Layer, 0, len(stack))
+		for _, k := range stack {
+			switch k {
+			case LayerUID:
+				layers = append(layers, UIDLayer(generateUIDFuncs(rng, n)...))
+			case LayerAddressPartition:
+				layers = append(layers, AddressPartitionLayer(n))
+			case LayerUnsharedFiles:
+				layers = append(layers, UnsharedFilesLayer(DefaultUnsharedPaths...))
+			case LayerInstructionTags:
+				layers = append(layers, InstructionTagLayer(n))
+			default:
+				// Silently skipping would generate a spec the caller
+				// did not ask for; layer kinds are programmer-supplied
+				// constants (user input goes through ParseStack), so
+				// an unknown kind is a bug at the call site.
+				panic(fmt.Sprintf("reexpress: GenerateFrom: unknown layer kind %d", k))
+			}
+		}
+		s, err := NewSpec(n, layers...)
+		if err == nil {
+			return s
+		}
+		// A validation failure is astronomically unlikely (the
+		// construction rules guarantee the properties per layer; only
+		// stacked random layers of the same kind can collide under
+		// composition, at ~2⁻³⁰ per pair) — redraw rather than ever
+		// deploying a spec that differs from the requested stack.
+		lastErr = err
+	}
+	// Eight consecutive failed draws cannot happen by chance; the
+	// construction rules are broken. Substituting a different stack
+	// here would silently change a security deployment, so fail loudly
+	// instead.
+	panic(fmt.Sprintf("reexpress: GenerateFrom: cannot generate a valid %d-variant spec: %v", n, lastErr))
+}
+
+// generateUIDFuncs draws identity plus n-1 XOR masks satisfying the
+// Generate contract.
+func generateUIDFuncs(rng *rand.Rand, n int) []Func {
+	funcs := make([]Func, n)
+	funcs[0] = Identity{}
+	masks := make([]word.Word, 1, n) // identity occupies mask 0
+	for i := 1; i < n; i++ {
+		m := drawMask(rng, masks)
+		masks = append(masks, m)
+		funcs[i] = XORMask{Mask: m}
+	}
+	return funcs
+}
+
+// drawMask draws one fresh mask: sign bit clear, every byte nonzero,
+// popcount ≥ MinMaskBits, and byte-distinct in every position from all
+// previously drawn masks (including 0, the identity).
+func drawMask(rng *rand.Rand, prev []word.Word) word.Word {
+	for attempt := 0; attempt < 1024; attempt++ {
+		var b [word.Size]byte
+		for i := range b {
+			b[i] = byte(1 + rng.Intn(255))
+		}
+		b[word.Size-1] &= 0x7F
+		if b[word.Size-1] == 0 {
+			continue
+		}
+		m := word.FromBytes(b)
+		if bits.OnesCount32(uint32(m)) < MinMaskBits {
+			continue
+		}
+		if !byteDistinct(m, prev) {
+			continue
+		}
+		return m
+	}
+	// Essentially unreachable (the rejection probability per draw is
+	// tiny); scan deterministic candidates so the function always
+	// terminates with a usable, pairwise-distinct mask.
+	for k := word.Word(1); ; k++ {
+		m := (UIDMask - k*0x01010101) & ^word.HighBit
+		if bits.OnesCount32(uint32(m)) < MinMaskBits {
+			continue
+		}
+		distinct := true
+		for _, p := range prev {
+			if m == p {
+				distinct = false
+				break
+			}
+		}
+		if distinct {
+			return m
+		}
+	}
+}
+
+// byteDistinct reports whether m differs from every mask in prev at
+// every byte position.
+func byteDistinct(m word.Word, prev []word.Word) bool {
+	mb := m.Bytes()
+	for _, p := range prev {
+		pb := p.Bytes()
+		for i := 0; i < word.Size; i++ {
+			if mb[i] == pb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// boundaryOnce caches the ~65k-word adversarial sample corpus: it is
+// read-only and rebuilding it per spec validation (one per fleet
+// replacement) would be pure allocation churn.
+var boundaryOnce = sync.OnceValue(BoundarySamples)
+
+// boundarySamples returns the shared, cached property-check corpus.
+func boundarySamples() []word.Word { return boundaryOnce() }

@@ -26,20 +26,57 @@ type Addr = word.Word
 // PageSize is the granularity of backing storage.
 const PageSize = 4096
 
-// Partition constrains which half of the address space a Space may
-// map, mirroring the address-space partitioning reexpression.
-type Partition int
+// Partition constrains which slice of the address space a Space may
+// map, mirroring the address-space partitioning reexpression. The
+// paper's two-variant construction (variant 0 in the low half, variant
+// 1 in the high half) generalizes to 2^bits equal slots with the
+// variant index carried in the top bits of every address — an
+// N-variant deployment gives variant i slot i via PartitionSlot.
+type Partition struct {
+	// index is the slot number, in [0, 2^bits).
+	index int
+	// bits is the slot-index width; 0 means the full unpartitioned
+	// space.
+	bits int
+}
 
-// Partition values.
-const (
+// Partition values of the two-variant construction.
+var (
 	// PartitionNone allows the full 32-bit space (used when address
 	// diversity is disabled).
-	PartitionNone Partition = iota + 1
+	PartitionNone = Partition{}
 	// PartitionLow restricts the space to addresses with a 0 high bit.
-	PartitionLow
+	PartitionLow = Partition{index: 0, bits: 1}
 	// PartitionHigh restricts the space to addresses with a 1 high bit.
-	PartitionHigh
+	PartitionHigh = Partition{index: 1, bits: 1}
 )
+
+// PartitionBits returns the slot-index width needed for n disjoint
+// slots (minimum 1, the paper's two-halves split). It delegates to
+// word.SlotBits, the shared source of truth reexpress's Slot functions
+// are built from — the monitor's canonicalization width therefore
+// cannot drift from the slot layout a spec was validated against.
+func PartitionBits(n int) int { return word.SlotBits(n) }
+
+// PartitionSlot returns slot index of the 2^PartitionBits(count)-way
+// partitioning of the address space — variant index's confinement in
+// a count-variant deployment.
+func PartitionSlot(index, count int) (Partition, error) {
+	bits := PartitionBits(count)
+	if bits >= word.Bits {
+		return Partition{}, fmt.Errorf("vmem: %d-way partitioning needs %d index bits", count, bits)
+	}
+	if index < 0 || index >= 1<<bits {
+		return Partition{}, fmt.Errorf("vmem: slot %d out of range for %d-way partitioning", index, 1<<bits)
+	}
+	return Partition{index: index, bits: bits}, nil
+}
+
+// Bits returns the slot-index width (0 for the unpartitioned space).
+func (p Partition) Bits() int { return p.bits }
+
+// Index returns the slot number.
+func (p Partition) Index() int { return p.index }
 
 // String names the partition.
 func (p Partition) String() string {
@@ -50,29 +87,24 @@ func (p Partition) String() string {
 		return "low"
 	case PartitionHigh:
 		return "high"
-	default:
-		return "unknown"
 	}
+	return fmt.Sprintf("slot %d/%d", p.index, 1<<p.bits)
 }
 
 // Contains reports whether addr falls inside the partition.
 func (p Partition) Contains(addr Addr) bool {
-	switch p {
-	case PartitionLow:
-		return addr&word.HighBit == 0
-	case PartitionHigh:
-		return addr&word.HighBit != 0
-	default:
+	if p.bits == 0 {
 		return true
 	}
+	return int(addr>>(word.Bits-p.bits)) == p.index
 }
 
 // Base returns the lowest address of the partition.
 func (p Partition) Base() Addr {
-	if p == PartitionHigh {
-		return word.HighBit
+	if p.bits == 0 {
+		return 0
 	}
-	return 0
+	return Addr(p.index) << (word.Bits - p.bits)
 }
 
 // SegfaultError reports an access to an unmapped (or out-of-partition)
@@ -123,8 +155,18 @@ func (s *Space) Partition() Partition { return s.partition }
 // Canonical maps an address into the canonical (variant-0) address
 // space by clearing the partition bit. This is the canonicalization
 // function the monitor uses to compare address arguments across
-// variants (§2, normal equivalence).
+// variants (§2, normal equivalence) in the two-variant construction.
 func Canonical(addr Addr) Addr { return addr &^ word.HighBit }
+
+// CanonicalIn is Canonical generalized to a 2^bits-way partitioned
+// deployment: it clears the top bits index bits, mapping any variant's
+// address back to the variant-0 (slot 0) space.
+func CanonicalIn(addr Addr, bits int) Addr {
+	if bits <= 0 {
+		return addr
+	}
+	return addr & (Addr(1)<<(word.Bits-bits) - 1)
+}
 
 // Map makes [base, base+size) accessible. It fails if the region
 // leaves the partition, wraps the address space, has zero size, or

@@ -29,11 +29,113 @@ func TestPartitionContains(t *testing.T) {
 }
 
 func TestPartitionString(t *testing.T) {
+	slot2of4, err := PartitionSlot(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for p, want := range map[Partition]string{
-		PartitionNone: "none", PartitionLow: "low", PartitionHigh: "high", Partition(9): "unknown",
+		PartitionNone: "none", PartitionLow: "low", PartitionHigh: "high", slot2of4: "slot 2/4",
 	} {
 		if got := p.String(); got != want {
 			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPartitionSlots(t *testing.T) {
+	// The paper's two-variant split is the count=2 special case.
+	low, err := PartitionSlot(0, 2)
+	if err != nil || low != PartitionLow {
+		t.Fatalf("PartitionSlot(0,2) = %v, %v", low, err)
+	}
+	high, err := PartitionSlot(1, 2)
+	if err != nil || high != PartitionHigh {
+		t.Fatalf("PartitionSlot(1,2) = %v, %v", high, err)
+	}
+
+	// N=3 rounds up to a 4-way split; every slot is disjoint from
+	// every other and together they tile the space.
+	for count := 3; count <= 5; count++ {
+		bits := PartitionBits(count)
+		slots := make([]Partition, count)
+		for i := range slots {
+			p, err := PartitionSlot(i, count)
+			if err != nil {
+				t.Fatalf("PartitionSlot(%d,%d): %v", i, count, err)
+			}
+			slots[i] = p
+			if p.Bits() != bits || p.Index() != i {
+				t.Errorf("slot %d/%d = bits %d index %d", i, count, p.Bits(), p.Index())
+			}
+		}
+		for i, p := range slots {
+			if !p.Contains(p.Base()) {
+				t.Errorf("slot %d does not contain its base %s", i, p.Base())
+			}
+			for j, q := range slots {
+				if i != j && q.Contains(p.Base()) {
+					t.Errorf("slot %d base %s also inside slot %d", i, p.Base(), j)
+				}
+			}
+		}
+	}
+
+	if _, err := PartitionSlot(4, 4); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := PartitionSlot(-1, 2); err == nil {
+		t.Error("negative slot accepted")
+	}
+}
+
+func TestCanonicalIn(t *testing.T) {
+	// Two-way: CanonicalIn(·, 1) must agree with the legacy Canonical.
+	for _, a := range []Addr{0, 0x1000, 0x7FFFFFFF, 0x80001000, 0xFFFFFFFF} {
+		if got, want := CanonicalIn(a, 1), Canonical(a); got != want {
+			t.Errorf("CanonicalIn(%s,1) = %s, want %s", a, got, want)
+		}
+	}
+	// Four-way: any slot's address maps back to the slot-0 offset.
+	for i := 0; i < 4; i++ {
+		p, err := PartitionSlot(i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := p.Base() + 0x1234
+		if got := CanonicalIn(addr, p.Bits()); got != 0x1234 {
+			t.Errorf("slot %d: CanonicalIn(%s) = %s, want 0x1234", i, addr, got)
+		}
+	}
+	if got := CanonicalIn(0x80001234, 0); got != 0x80001234 {
+		t.Errorf("bits=0 must be identity, got %s", got)
+	}
+}
+
+func TestSlotSpaceAllocStaysInSlot(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		p, err := PartitionSlot(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			// Slot 3 exists in the rounded-up 4-way split; a 3-variant
+			// deployment just leaves it empty.
+			continue
+		}
+		s := New(p)
+		addr, err := s.Alloc(4096)
+		if err != nil {
+			t.Fatalf("slot %d: Alloc: %v", i, err)
+		}
+		if !p.Contains(addr) {
+			t.Errorf("slot %d: Alloc returned %s outside the slot", i, addr)
+		}
+		// Mapping outside the slot must fault.
+		other := CanonicalIn(addr, p.Bits()) // slot-0 image
+		if i != 0 {
+			if err := s.Map(other, 16); err == nil {
+				t.Errorf("slot %d: mapping slot-0 address %s did not fault", i, other)
+			}
 		}
 	}
 }

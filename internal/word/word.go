@@ -91,3 +91,18 @@ func (w Word) String() string {
 func (w Word) Decimal() string {
 	return strconv.FormatUint(uint64(w), 10)
 }
+
+// SlotBits returns the number of top-of-word index bits needed to
+// give n parties disjoint slots of the word space (minimum 1, the
+// two-halves split). It is the single source of truth for slot
+// widths: reexpress builds Slot functions and vmem builds address
+// partitions from the same computation, so the monitor's
+// canonicalization width can never drift from the slot layout a spec
+// was property-checked against.
+func SlotBits(n int) int {
+	b := 1
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

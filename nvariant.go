@@ -12,18 +12,24 @@
 // diversified data in all variants consistently: the corruption is
 // detected at its first use, without any secrets.
 //
-// Quick start (the UID variation of the paper's case study):
+// Quick start — a DiversitySpec describes the whole deployment: N ≥ 2
+// variants, each with a stack of typed variation layers, validated for
+// the inverse and N-wide pairwise-disjointness properties at
+// construction:
 //
 //	world, _ := nvariant.NewWorld()
-//	pair := nvariant.UIDVariation().Pair
-//	nvariant.SetupUnsharedPasswd(world, pair.Funcs())
+//	spec := nvariant.GenerateSpec(42, 3) // 3 variants, UID layer
+//	nvariant.SetupUnsharedPasswd(world, spec.UIDFuncs())
 //	res, _ := nvariant.Run(world, nvariant.NewNetwork(0),
-//	    []nvariant.Program{variant0, variant1},
-//	    nvariant.WithUIDVariation(pair),
+//	    []nvariant.Program{variant0, variant1, variant2},
+//	    nvariant.WithSpec(spec),
 //	    nvariant.WithUnsharedFiles("/etc/passwd", "/etc/group"))
 //	if res.Detected() {
 //	    fmt.Println("attack detected:", res.Alarm)
 //	}
+//
+// The pre-DiversitySpec two-variant surface (Pair, WithUIDVariation)
+// keeps compiling through thin adapters that build specs internally.
 //
 // The package re-exports the building blocks: the reexpression-
 // function framework (Table 1), the monitor kernel with its detection
@@ -60,9 +66,21 @@ type (
 	// ReexpressionFunc is a data reexpression function R with inverse.
 	ReexpressionFunc = reexpress.Func
 	// Pair is a two-variant reexpression configuration (R₀, R₁).
+	//
+	// Deprecated in favour of DiversitySpec: Pair-taking call sites
+	// keep working through adapters.
 	Pair = reexpress.Pair
 	// Variation is a named Table 1 row.
 	Variation = reexpress.Variation
+
+	// DiversitySpec describes a diversified deployment: N ≥ 2 variants,
+	// each with an ordered stack of typed variation layers, validated
+	// for the inverse and N-wide pairwise-disjointness properties.
+	DiversitySpec = reexpress.Spec
+	// DiversityLayer is one variation in a spec's stack.
+	DiversityLayer = reexpress.Layer
+	// DiversityLayerKind classifies a variation layer.
+	DiversityLayerKind = reexpress.LayerKind
 
 	// Program is the code run (with per-variant data) by each variant.
 	Program = sys.Program
@@ -95,6 +113,41 @@ const (
 	ReasonTimeout         = nvkernel.ReasonTimeout
 )
 
+// Variation-layer kinds, re-exported.
+const (
+	LayerUID              = reexpress.LayerUID
+	LayerAddressPartition = reexpress.LayerAddressPartition
+	LayerUnsharedFiles    = reexpress.LayerUnsharedFiles
+	LayerInstructionTags  = reexpress.LayerInstructionTags
+)
+
+// DiversitySpec constructors and layer builders.
+var (
+	// NewDiversitySpec builds and validates an explicit spec: n
+	// variants with the given layer stack, checked for the §2.2/§2.3
+	// properties generalized N-wide.
+	NewDiversitySpec = reexpress.NewSpec
+	// SpecFromVariation builds a validated two-variant spec from a
+	// Table 1 row.
+	SpecFromVariation = reexpress.FromVariation
+	// GenerateSpec draws a randomized, validated spec for n variants
+	// from a seed (it subsumes the fleet's old two-variant pair
+	// selection). Stack kinds default to a single UID layer.
+	GenerateSpec = reexpress.Generate
+	// ParseStack parses a comma-separated stack description
+	// ("uid,addr,files") into layer kinds.
+	ParseStack = reexpress.ParseStack
+
+	// UIDLayer builds a UID variation layer from per-variant functions.
+	UIDLayer = reexpress.UIDLayer
+	// AddressPartitionLayer builds an N-way address partitioning layer.
+	AddressPartitionLayer = reexpress.AddressPartitionLayer
+	// UnsharedFilesLayer builds an unshared-files layer (§3.4).
+	UnsharedFilesLayer = reexpress.UnsharedFilesLayer
+	// InstructionTagLayer builds an N-way instruction tagging layer.
+	InstructionTagLayer = reexpress.InstructionTagLayer
+)
+
 // Cred is a simulated process credential set.
 type Cred = vos.Cred
 
@@ -119,9 +172,14 @@ func Run(world *World, net *Network, progs []Program, opts ...Option) (*Result, 
 
 // Kernel options, re-exported.
 var (
-	// WithUIDVariation installs a UID data variation.
+	// WithSpec configures a run from a DiversitySpec, materializing
+	// every layer of its variation stack.
+	WithSpec = nvkernel.WithSpec
+	// WithUIDVariation installs a UID data variation (adapter: it
+	// builds a two-variant spec internally).
 	WithUIDVariation = nvkernel.WithUIDVariation
-	// WithUIDFuncs installs explicit per-variant UID functions.
+	// WithUIDFuncs installs explicit per-variant UID functions
+	// (adapter: it builds an unchecked spec internally).
 	WithUIDFuncs = nvkernel.WithUIDFuncs
 	// WithAddressPartition places variants in disjoint address spaces.
 	WithAddressPartition = nvkernel.WithAddressPartition
@@ -216,7 +274,8 @@ func StartConfiguration(c Configuration, opts HTTPServerOptions, latency time.Du
 // reexpression functions takes its place.
 type Fleet = fleet.Fleet
 
-// FleetOptions configures a fleet (pool size, configuration, policy).
+// FleetOptions configures a fleet (pool size, configuration, policy,
+// per-group variant count and variation stack).
 type FleetOptions = fleet.Options
 
 // FleetStats is a snapshot of fleet health and dispatch counters.

@@ -147,3 +147,75 @@ func TestFacadeRootCred(t *testing.T) {
 		t.Errorf("root cannot read the secret: %v", err)
 	}
 }
+
+func TestFacadeDiversitySpecQuickstart(t *testing.T) {
+	// The package-doc quick start: an N=3 generated spec, a forged-UID
+	// injection, detection through the facade.
+	spec := GenerateSpec(42, 3)
+	if spec.N() != 3 {
+		t.Fatalf("spec N = %d", spec.N())
+	}
+	world, err := NewWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetupUnsharedPasswd(world, spec.UIDFuncs()); err != nil {
+		t.Fatal(err)
+	}
+	forged := ProgramFunc{ProgName: "forged", Fn: func(ctx *Context) error {
+		if err := ctx.Setuid(0); err != nil {
+			return err
+		}
+		return ctx.Exit(0)
+	}}
+	res, err := Run(world, NewNetwork(0), []Program{forged, forged, forged},
+		WithSpec(spec),
+		WithUnsharedFiles("/etc/passwd", "/etc/group"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() || res.Alarm.Reason != ReasonUIDDivergence {
+		t.Fatalf("3-variant forged setuid not detected: %+v", res.Alarm)
+	}
+}
+
+func TestFacadeExplicitSpecConstruction(t *testing.T) {
+	spec, err := NewDiversitySpec(2,
+		UIDLayer(UIDVariation().Pair.R0, UIDVariation().Pair.R1),
+		AddressPartitionLayer(2),
+		UnsharedFilesLayer("/etc/passwd", "/etc/group"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.StackString(); got != "uid+address-partition+unshared-files" {
+		t.Errorf("stack = %q", got)
+	}
+	if _, err := NewDiversitySpec(2, UIDLayer(UIDVariation().Pair.R0, UIDVariation().Pair.R0)); err == nil {
+		t.Error("disjointness-violating spec accepted")
+	}
+	fromRow, err := SpecFromVariation(UIDVariation())
+	if err != nil || fromRow.N() != 2 {
+		t.Fatalf("SpecFromVariation: %v", err)
+	}
+	kinds, err := ParseStack("uid,addr")
+	if err != nil || len(kinds) != 2 || kinds[0] != LayerUID || kinds[1] != LayerAddressPartition {
+		t.Fatalf("ParseStack: %v %v", kinds, err)
+	}
+}
+
+func TestFacadeFleetWithVariants(t *testing.T) {
+	f, err := NewFleet(FleetOptions{Groups: 2, Variants: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _, _ = f.Stop() }()
+	if code, _, err := f.Client().Get("/index.html"); err != nil || code != 200 {
+		t.Fatalf("GET = %d, %v", code, err)
+	}
+	for _, g := range f.Stats().Healthy {
+		if g.Variants != 3 {
+			t.Errorf("group %d variants = %d", g.ID, g.Variants)
+		}
+	}
+}
