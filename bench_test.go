@@ -7,6 +7,7 @@ package nvariant
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -54,7 +55,10 @@ func BenchmarkTable1Reexpression(b *testing.B) {
 // --- Table 2: detection system call cost ------------------------------
 
 // benchDetectionCalls measures the per-call cost of a Table 2 syscall
-// under a live 2-variant monitor.
+// under a live 2-variant monitor. Group startup (world, goroutines,
+// address spaces) happens off the clock: every variant makes one warmup
+// rendezvous, parks on a gate, and only the gated steady-state calls
+// run inside the timed window.
 func benchDetectionCalls(b *testing.B, num sys.Num) {
 	b.Helper()
 	pair := reexpress.UIDVariation().Pair
@@ -63,6 +67,9 @@ func benchDetectionCalls(b *testing.B, num sys.Num) {
 		b.Fatal(err)
 	}
 	n := b.N
+	start := make(chan struct{})
+	var warm sync.WaitGroup
+	warm.Add(2)
 	progs := make([]sys.Program, 2)
 	for i := 0; i < 2; i++ {
 		f := pair.Funcs()[i]
@@ -71,6 +78,13 @@ func benchDetectionCalls(b *testing.B, num sys.Num) {
 			if err != nil {
 				return err
 			}
+			// Warmup rendezvous: proves the whole group is up before
+			// the clock starts.
+			if _, err := ctx.Time(); err != nil {
+				return err
+			}
+			warm.Done()
+			<-start
 			for k := 0; k < n; k++ {
 				var callErr error
 				switch num {
@@ -88,11 +102,21 @@ func benchDetectionCalls(b *testing.B, num sys.Num) {
 			return ctx.Exit(0)
 		}}
 	}
+	b.ReportAllocs()
+	var res *nvkernel.Result
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, runErr = nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithUIDVariation(pair))
+	}()
+	warm.Wait()
 	b.ResetTimer()
-	res, err := nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithUIDVariation(pair))
+	close(start)
+	<-done
 	b.StopTimer()
-	if err != nil {
-		b.Fatal(err)
+	if runErr != nil {
+		b.Fatal(runErr)
 	}
 	if !res.Clean {
 		b.Fatalf("alarm during benchmark: %v", res.Alarm)
@@ -271,6 +295,7 @@ func benchRequestCost(b *testing.B, noDetectionCalls bool) {
 		b.Fatal(err)
 	}
 	client := h.Client()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		code, _, err := client.Get("/index.html")
@@ -288,7 +313,9 @@ func BenchmarkAblationDetectionCalls(b *testing.B)  { benchRequestCost(b, false)
 func BenchmarkAblationSyscallBoundary(b *testing.B) { benchRequestCost(b, true) }
 
 // BenchmarkAblationRendezvous measures raw monitor rendezvous cost per
-// syscall as group size grows.
+// syscall as group size grows. Like benchDetectionCalls, group startup
+// runs off the clock behind a warmup gate so only steady-state
+// rendezvous are timed.
 func BenchmarkAblationRendezvous(b *testing.B) {
 	for _, n := range []int{1, 2, 3, 4, 5} {
 		n := n
@@ -298,9 +325,17 @@ func BenchmarkAblationRendezvous(b *testing.B) {
 				b.Fatal(err)
 			}
 			iters := b.N
+			start := make(chan struct{})
+			var warm sync.WaitGroup
+			warm.Add(n)
 			progs := make([]sys.Program, n)
 			for i := range progs {
 				progs[i] = sys.ProgramFunc{ProgName: "spin", Fn: func(ctx *sys.Context) error {
+					if _, err := ctx.Time(); err != nil {
+						return err
+					}
+					warm.Done()
+					<-start
 					for k := 0; k < iters; k++ {
 						if _, err := ctx.Time(); err != nil {
 							return err
@@ -313,11 +348,21 @@ func BenchmarkAblationRendezvous(b *testing.B) {
 			for i := range funcs {
 				funcs[i] = reexpress.Identity{}
 			}
+			b.ReportAllocs()
+			var res *nvkernel.Result
+			var runErr error
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				res, runErr = nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithUIDFuncs(funcs...))
+			}()
+			warm.Wait()
 			b.ResetTimer()
-			res, err := nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithUIDFuncs(funcs...))
+			close(start)
+			<-done
 			b.StopTimer()
-			if err != nil || !res.Clean {
-				b.Fatalf("run: %v %v", err, res.Alarm)
+			if runErr != nil || !res.Clean {
+				b.Fatalf("run: %v %v", runErr, res.Alarm)
 			}
 		})
 	}
@@ -448,6 +493,7 @@ func BenchmarkFleetDispatchOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	client := f.Client()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		code, _, err := client.Get("/index.html")

@@ -56,11 +56,13 @@ func (f *Fleet) acceptLoop() {
 }
 
 // pick chooses a healthy group under the active policy, or nil when
-// the pool is momentarily empty.
+// the pool is momentarily empty. It reads the lock-free published
+// snapshot — no mutex on the per-connection hot path, so dispatch
+// never stalls behind spawn/quarantine bookkeeping (which holds f.mu
+// while rebuilding groups).
 func (f *Fleet) pick() *group {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if len(f.groups) == 0 {
+	pool := *f.pool.Load()
+	if len(pool) == 0 {
 		return nil
 	}
 	switch f.opts.Policy {
@@ -68,18 +70,18 @@ func (f *Fleet) pick() *group {
 		// Scan from a rotating start so ties round-robin instead of
 		// hot-spotting the lowest-indexed group (sequential clients
 		// would otherwise all land on group 0).
-		n := len(f.groups)
+		n := len(pool)
 		start := int(f.rr.Add(1)-1) % n
-		best := f.groups[start]
+		best := pool[start]
 		for i := 1; i < n; i++ {
-			g := f.groups[(start+i)%n]
+			g := pool[(start+i)%n]
 			if g.inflight.Load() < best.inflight.Load() {
 				best = g
 			}
 		}
 		return best
 	default:
-		return f.groups[int(f.rr.Add(1)-1)%len(f.groups)]
+		return pool[int(f.rr.Add(1)-1)%len(pool)]
 	}
 }
 
@@ -131,7 +133,9 @@ func (f *Fleet) serve(client *simnet.Conn) {
 	// Request pump: client → backend. Closing the backend on client EOF
 	// propagates end-of-stream to the server (simnet has no half-close,
 	// but the response — if any — has already crossed by the time a
-	// well-behaved client closes).
+	// well-behaved client closes). Both pumps hand each message's
+	// pooled buffer straight through with SendOwned — the proxy never
+	// copies a payload; ownership passes from one wire to the other.
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
@@ -141,7 +145,8 @@ func (f *Fleet) serve(client *simnet.Conn) {
 			if err != nil || msg == nil {
 				return
 			}
-			if backend.Send(msg) != nil {
+			if backend.SendOwned(msg) != nil {
+				simnet.PutBuffer(msg)
 				return
 			}
 		}
@@ -153,7 +158,8 @@ func (f *Fleet) serve(client *simnet.Conn) {
 		if err != nil || msg == nil {
 			return
 		}
-		if client.Send(msg) != nil {
+		if client.SendOwned(msg) != nil {
+			simnet.PutBuffer(msg)
 			return
 		}
 	}

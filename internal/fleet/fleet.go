@@ -122,8 +122,13 @@ type Fleet struct {
 	front *simnet.Listener
 	audit *AuditLog
 
-	mu          sync.Mutex
-	groups      []*group
+	mu     sync.Mutex
+	groups []*group
+	// pool is the dispatcher's lock-free snapshot of groups: an
+	// immutable slice republished (under mu) on every roster change,
+	// so pick() on the per-connection hot path never contends with
+	// spawn/quarantine bookkeeping.
+	pool        atomic.Pointer[[]*group]
 	nextID      int
 	nextPort    uint16
 	freePorts   []uint16
@@ -170,6 +175,7 @@ func New(opts Options) (*Fleet, error) {
 		nextPort: opts.BasePort,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
+	f.pool.Store(new([]*group))
 	for i := 0; i < opts.Groups; i++ {
 		if _, err := f.spawn(); err != nil {
 			_, _ = f.Stop()
@@ -246,6 +252,7 @@ func (f *Fleet) spawn() (*group, error) {
 		return nil, errClosed
 	}
 	f.groups = append(f.groups, g)
+	f.publishLocked()
 	f.spawned++
 	f.mu.Unlock()
 
@@ -358,9 +365,19 @@ func (f *Fleet) removeLocked(g *group) {
 	for i, cur := range f.groups {
 		if cur == g {
 			f.groups = append(f.groups[:i], f.groups[i+1:]...)
+			f.publishLocked()
 			return
 		}
 	}
+}
+
+// publishLocked republishes the dispatcher's snapshot of the healthy
+// pool. Caller holds f.mu. The stored slice is a fresh copy and never
+// mutated afterwards, so pick() may read it without synchronization.
+func (f *Fleet) publishLocked() {
+	snap := make([]*group, len(f.groups))
+	copy(snap, f.groups)
+	f.pool.Store(&snap)
 }
 
 // isClosed reports whether Stop has begun.

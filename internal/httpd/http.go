@@ -1,7 +1,9 @@
 package httpd
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -63,20 +65,30 @@ func ContentTypeFor(uri string) string {
 	}
 }
 
-// FormatResponse renders a complete HTTP response.
-func FormatResponse(code int, contentType string, body []byte) string {
+// AppendResponse appends a complete HTTP response to dst and returns
+// the extended slice — the allocation-free form the server's request
+// loop uses with a reused buffer.
+func AppendResponse(dst []byte, code int, contentType string, body []byte) []byte {
 	text, ok := statusText[code]
 	if !ok {
 		text = "Unknown"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", code, text)
-	fmt.Fprintf(&b, "Server: nvariant-httpd/1.0\r\n")
-	fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
-	b.WriteString("\r\n")
-	b.Write(body)
-	return b.String()
+	dst = append(dst, "HTTP/1.0 "...)
+	dst = strconv.AppendInt(dst, int64(code), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, text...)
+	dst = append(dst, "\r\nServer: nvariant-httpd/1.0\r\nContent-Type: "...)
+	dst = append(dst, contentType...)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	dst = append(dst, body...)
+	return dst
+}
+
+// FormatResponse renders a complete HTTP response.
+func FormatResponse(code int, contentType string, body []byte) string {
+	return string(AppendResponse(nil, code, contentType, body))
 }
 
 // ErrorBody renders a small HTML error page.
@@ -84,27 +96,41 @@ func ErrorBody(code int) []byte {
 	return []byte(fmt.Sprintf("<html><body><h1>%d %s</h1></body></html>\n", code, statusText[code]))
 }
 
-// ParseStatus extracts the status code from a raw HTTP response.
+// ParseStatus extracts the status code from a raw HTTP response. It
+// works on the raw bytes without conversions or scanning helpers —
+// clients parse every response, so this is data-plane code.
 func ParseStatus(raw []byte) (int, error) {
-	text := string(raw)
-	nl := strings.IndexByte(text, '\n')
+	nl := bytes.IndexByte(raw, '\n')
 	if nl < 0 {
 		return 0, fmt.Errorf("httpd: response missing status line")
 	}
-	parts := strings.Split(strings.TrimRight(text[:nl], "\r"), " ")
-	if len(parts) < 2 {
-		return 0, fmt.Errorf("httpd: malformed status line %q", text[:nl])
+	line := bytes.TrimRight(raw[:nl], "\r")
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return 0, fmt.Errorf("httpd: malformed status line %q", line)
 	}
-	var code int
-	if _, err := fmt.Sscanf(parts[1], "%d", &code); err != nil {
-		return 0, fmt.Errorf("httpd: bad status %q: %w", parts[1], err)
+	rest := line[sp+1:]
+	if end := bytes.IndexByte(rest, ' '); end >= 0 {
+		rest = rest[:end]
+	}
+	// Status codes are exactly three digits; bounding the length also
+	// keeps the accumulator from overflowing on a hostile response.
+	if len(rest) == 0 || len(rest) > 3 {
+		return 0, fmt.Errorf("httpd: bad status %q", rest)
+	}
+	code := 0
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("httpd: bad status %q", rest)
+		}
+		code = code*10 + int(c-'0')
 	}
 	return code, nil
 }
 
 // Body extracts the response body (bytes after the blank line).
 func Body(raw []byte) []byte {
-	if i := strings.Index(string(raw), "\r\n\r\n"); i >= 0 {
+	if i := bytes.Index(raw, []byte("\r\n\r\n")); i >= 0 {
 		return raw[i+4:]
 	}
 	return nil

@@ -144,6 +144,14 @@ type state struct {
 	reqBuf   vmem.Addr
 	uidAddr  vmem.Addr // adjacent to reqBuf: the overflow target
 	workSink word.Word
+	// parse is the reusable copy-out buffer for the request line, so
+	// the steady-state request loop reads variant memory without
+	// allocating.
+	parse [ReqBufSize]byte
+	// body and resp are the reusable document and response-rendering
+	// buffers of the request loop.
+	body []byte
+	resp []byte
 }
 
 func (s *Server) serve(ctx *sys.Context) error {
@@ -313,8 +321,8 @@ func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
 	if parseLen > ReqBufSize {
 		parseLen = ReqBufSize
 	}
-	raw, err := ctx.Mem.ReadBytes(st.reqBuf, parseLen)
-	if err != nil {
+	raw := st.parse[:parseLen]
+	if err := ctx.Mem.ReadBytesInto(st.reqBuf, raw); err != nil {
 		return true, false, err
 	}
 	req, err := ParseRequestLine(raw)
@@ -358,8 +366,8 @@ func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
 
 	s.burnWork(st, body)
 
-	resp := FormatResponse(code, ContentTypeFor(req.URI), body)
-	return true, false, ctx.SendString(cfd, resp)
+	st.resp = AppendResponse(st.resp[:0], code, ContentTypeFor(req.URI), body)
+	return true, false, ctx.SendBytes(cfd, st.resp)
 }
 
 // loadDocument maps the URI to a file and reads it under the current
@@ -386,11 +394,12 @@ func (s *Server) loadDocument(st *state, uri string) (int, []byte) {
 		s.logDenied(st, uri, code)
 		return code, ErrorBody(code)
 	}
-	body, err := ctx.ReadAll(fd)
+	body, err := ctx.ReadAllInto(fd, st.body[:0])
 	_ = ctx.Close(fd)
 	if err != nil {
 		return 500, ErrorBody(500)
 	}
+	st.body = body
 	return 200, body
 }
 
@@ -414,8 +423,8 @@ func (s *Server) logDenied(st *state, uri string, code int) {
 
 // respondError sends an error response without touching credentials.
 func (s *Server) respondError(st *state, cfd int, code int) error {
-	body := ErrorBody(code)
-	return st.ctx.SendString(cfd, FormatResponse(code, "text/html", body))
+	st.resp = AppendResponse(st.resp[:0], code, "text/html", ErrorBody(code))
+	return st.ctx.SendBytes(cfd, st.resp)
 }
 
 // burnWork performs WorkFactor checksum passes over the body: the

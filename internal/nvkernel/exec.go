@@ -111,13 +111,16 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 		}
 		// Input class: the trusted result is reexpressed per variant
 		// (§3.5: "giving each variant its own varied UID value").
+		// Variants are answered as their reexpression succeeds, so a
+		// failure raises with only the not-yet-replied tail msgs[i:]
+		// (the exactly-one-reply discipline mailbox reuse depends on).
 		for i, m := range msgs {
 			rep, err := s.cfg.UIDFuncs[i].Apply(real)
 			if err != nil {
 				s.raise(&Alarm{
 					Reason: ReasonUIDDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
 					Detail: fmt.Sprintf("cannot reexpress %s: %v", real.Decimal(), err),
-				}, msgs)
+				}, msgs[i:])
 				return true
 			}
 			m.reply <- sys.Reply{Val: rep}
@@ -291,7 +294,7 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 	n := uint32(canon[2])
 
 	if entry.shared {
-		buf := make([]byte, n)
+		buf := s.ioScratch(n)
 		cnt, err := entry.files[0].Read(buf)
 		if err != nil {
 			s.replyErrno(msgs, err)
@@ -313,12 +316,15 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 
 	// Unshared: per-variant reads on per-variant files; lengths,
 	// counts and data may legitimately differ because the contents
-	// are diversified.
+	// are diversified. Each variant is replied to as its read
+	// completes, so failure paths answer only msgs[i:] — variants
+	// before i already received their success reply, and a second
+	// send into a reused mailbox would corrupt their next call.
 	for i, m := range msgs {
-		buf := make([]byte, uint32(m.call.Args[2]))
+		buf := s.ioScratch(uint32(m.call.Args[2]))
 		cnt, err := entry.files[i].Read(buf)
 		if err != nil {
-			s.replyErrno(msgs, err)
+			s.replyErrno(msgs[i:], err)
 			return false
 		}
 		addr := m.call.Args[1]
@@ -326,7 +332,7 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 			s.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy to variant memory: %v", err),
-			}, msgs)
+			}, msgs[i:])
 			return true
 		}
 		m.reply <- sys.Reply{Val: word.Word(cnt)}
@@ -334,33 +340,57 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 	return false
 }
 
+// ioScratch returns the reusable staging buffer sized to n bytes; the
+// result is valid until the next use (one rendezvous at most).
+func (s *system) ioScratch(n uint32) []byte {
+	if uint32(cap(s.ioBuf)) < n {
+		s.ioBuf = make([]byte, n)
+	}
+	return s.ioBuf[:n]
+}
+
+// cmpScratch is ioScratch's sibling for cross-variant comparison.
+func (s *system) cmpScratch(n uint32) []byte {
+	if uint32(cap(s.cmpBuf)) < n {
+		s.cmpBuf = make([]byte, n)
+	}
+	return s.cmpBuf[:n]
+}
+
 // gatherPayloads reads each variant's output payload from its memory
 // and checks byte equality (output equivalence, §3.1). A memory fault
 // is a variant fault; divergent payloads are a data-divergence alarm
 // (this is how the Apache UID-in-log-message pitfall of §4 manifests).
+// The returned slice is pooled scratch, borrowed until the next
+// rendezvous — every consumer (stdout capture, file write, network
+// send) copies before the monitor loops again.
 func (s *system) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) ([]byte, bool) {
 	n := uint32(canon[2])
-	var first []byte
-	for i, m := range msgs {
-		addr := m.call.Args[1]
-		b, err := s.variants[i].mem.ReadBytes(addr, n)
-		if err != nil {
-			s.raise(&Alarm{
-				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
-				Detail: fmt.Sprintf("copy from variant memory: %v", err),
-			}, msgs)
-			return nil, false
-		}
-		if i == 0 {
-			first = b
-			continue
-		}
-		if !bytes.Equal(b, first) {
-			s.raise(&Alarm{
-				Reason: ReasonDataDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
-				Detail: fmt.Sprintf("output payload differs from variant 0 (%d bytes)", n),
-			}, msgs)
-			return nil, false
+	first := s.ioScratch(n)
+	if err := s.variants[0].mem.ReadBytesInto(msgs[0].call.Args[1], first); err != nil {
+		s.raise(&Alarm{
+			Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: 0,
+			Detail: fmt.Sprintf("copy from variant memory: %v", err),
+		}, msgs)
+		return nil, false
+	}
+	if s.n > 1 {
+		other := s.cmpScratch(n)
+		for i := 1; i < s.n; i++ {
+			if err := s.variants[i].mem.ReadBytesInto(msgs[i].call.Args[1], other); err != nil {
+				s.raise(&Alarm{
+					Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
+					Detail: fmt.Sprintf("copy from variant memory: %v", err),
+				}, msgs)
+				return nil, false
+			}
+			if !bytes.Equal(other, first) {
+				s.raise(&Alarm{
+					Reason: ReasonDataDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
+					Detail: fmt.Sprintf("output payload differs from variant 0 (%d bytes)", n),
+				}, msgs)
+				return nil, false
+			}
 		}
 	}
 	return first, true
@@ -410,18 +440,20 @@ func (s *system) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys
 		return false
 	}
 
+	// Per-variant writes to unshared files; like the unshared read
+	// path, failures answer only the not-yet-replied tail msgs[i:].
 	for i, m := range msgs {
-		b, err := s.variants[i].mem.ReadBytes(m.call.Args[1], uint32(m.call.Args[2]))
-		if err != nil {
+		b := s.ioScratch(uint32(m.call.Args[2]))
+		if err := s.variants[i].mem.ReadBytesInto(m.call.Args[1], b); err != nil {
 			s.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy from variant memory: %v", err),
-			}, msgs)
+			}, msgs[i:])
 			return true
 		}
 		cnt, err := entry.files[i].Write(b)
 		if err != nil {
-			s.replyErrno(msgs, err)
+			s.replyErrno(msgs[i:], err)
 			return false
 		}
 		m.reply <- sys.Reply{Val: word.Word(cnt)}
@@ -456,8 +488,12 @@ func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 	if uint32(len(data)) > capacity {
 		data = data[:capacity]
 	}
+	// The kernel owns the message buffer once Recv returns; after the
+	// payload is replicated into every variant's memory it goes back
+	// to the network's buffer pool.
 	for i, m := range msgs {
 		if err := s.variants[i].mem.WriteBytes(m.call.Args[1], data); err != nil {
+			simnet.PutBuffer(data)
 			s.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy to variant memory: %v", err),
@@ -465,7 +501,9 @@ func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 			return true
 		}
 	}
-	replyAll(msgs, sys.Reply{Val: word.Word(uint32(len(data)))})
+	n := uint32(len(data))
+	simnet.PutBuffer(data)
+	replyAll(msgs, sys.Reply{Val: word.Word(n)})
 	return false
 }
 

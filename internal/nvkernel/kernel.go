@@ -16,6 +16,7 @@
 package nvkernel
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -57,13 +58,18 @@ type callMsg struct {
 	reply chan sys.Reply
 }
 
-// variantRT is the runtime state of one variant.
+// variantRT is the runtime state of one variant. Each variant owns one
+// preallocated mailbox (msg plus its long-lived buffered reply
+// channel), reused for every syscall: a variant has at most one call
+// in flight, and the monitor sends exactly one reply per received
+// message, so nothing is ever allocated per rendezvous.
 type variantRT struct {
 	id    int
 	calls chan *callMsg
 	done  chan struct{}
 	err   error
 	mem   *vmem.Space
+	msg   callMsg
 }
 
 // Run executes progs (one per variant) as an N-variant process group
@@ -131,16 +137,28 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 			done:  make(chan struct{}),
 			mem:   vmem.New(part),
 		}
+		variants[i].msg.reply = make(chan sys.Reply, 1)
 	}
 	s.variants = variants
+	s.msgs = make([]*callMsg, n)
+
+	// stop is closed when the post-run drain retires: any variant that
+	// reaches a syscall after that (e.g. a spinner that outlived the
+	// grace period) is answered Killed right here instead of parking
+	// forever on a rendezvous channel nobody reads anymore.
+	stop := make(chan struct{})
 
 	for i := 0; i < n; i++ {
 		v := variants[i]
 		prog := progs[i]
 		invoke := func(call sys.Call) sys.Reply {
-			msg := &callMsg{call: call, reply: make(chan sys.Reply, 1)}
-			v.calls <- msg
-			return <-msg.reply
+			v.msg.call = call
+			select {
+			case v.calls <- &v.msg:
+				return <-v.msg.reply
+			case <-stop:
+				return sys.Reply{Killed: true}
+			}
 		}
 		ctx := sys.NewContext(i, n, v.mem, invoke)
 		go func() {
@@ -161,7 +179,11 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 	// variant goroutine has returned. A variant that spins without
 	// syscalls cannot be preempted (goroutines are not killable the
 	// way the paper's kernel SIGKILLs a process), so the wait is
-	// bounded by a grace period; stragglers are reported as such.
+	// bounded by a grace period; stragglers are reported as such. The
+	// stop channel makes the drain goroutines and the all-done waiter
+	// exit when the grace period fires; a straggler that reaches a
+	// syscall after that is answered Killed by its own invoke (above),
+	// so only a variant that never syscalls again can outlive Run.
 	for _, v := range variants {
 		go func(v *variantRT) {
 			for {
@@ -170,21 +192,30 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 					m.reply <- sys.Reply{Killed: true}
 				case <-v.done:
 					return
+				case <-stop:
+					return
 				}
 			}
 		}(v)
 	}
 	allDone := make(chan struct{})
 	go func() {
+		defer close(allDone)
 		for _, v := range variants {
-			<-v.done
+			select {
+			case <-v.done:
+			case <-stop:
+				return
+			}
 		}
-		close(allDone)
 	}()
+	grace := time.NewTimer(cfg.Timeout)
 	select {
 	case <-allDone:
-	case <-time.After(cfg.Timeout):
+		grace.Stop()
+	case <-grace.C:
 	}
+	close(stop)
 
 	res := &Result{
 		Clean:       s.alarm == nil && s.exited,
@@ -225,66 +256,79 @@ type system struct {
 
 	stdout, stderr []byte
 
+	// Rendezvous scratch, reused across iterations so the steady-state
+	// monitor loop allocates nothing: the arrival slice, the canonical
+	// argument vector, and the payload-gathering buffers.
+	msgs   []*callMsg
+	canon  []word.Word
+	ioBuf  []byte // variant-0 payloads and shared-read staging
+	cmpBuf []byte // other variants' payloads during cross-checking
+
 	rendezvous int
 	alarm      *Alarm
 	exited     bool
 	status     word.Word
 }
 
-// monitor runs the rendezvous loop until exit or alarm.
+// monitor runs the rendezvous loop until exit or alarm. The rendezvous
+// deadline is amortized: the timer is armed once and checked lazily
+// against rendezvous progress when it fires, instead of being reset
+// and drained on every iteration. A stalled rendezvous is therefore
+// detected after between one and two Timeouts (never before Timeout),
+// trading alarm latency bounded by 2× for zero timer traffic on the
+// hot path.
 func (s *system) monitor() {
-	var timer *time.Timer
-	defer func() {
-		if timer != nil {
-			timer.Stop()
-		}
-	}()
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	armedAt := 0 // rendezvous count when the timer was last armed
 	for {
-		msgs := make([]*callMsg, s.n)
-		if timer == nil {
-			timer = time.NewTimer(s.cfg.Timeout)
-		} else {
-			timer.Reset(s.cfg.Timeout)
+		for i := range s.msgs {
+			s.msgs[i] = nil
 		}
 		for i, v := range s.variants {
-			select {
-			case m := <-v.calls:
-				msgs[i] = m
-			case <-v.done:
-				// A variant died without reaching the rendezvous:
-				// alarm (unless the whole group already exited).
-				detail := "variant terminated unexpectedly"
-				if v.err != nil {
-					detail = v.err.Error()
+		arrival:
+			for {
+				select {
+				case m := <-v.calls:
+					s.msgs[i] = m
+					break arrival
+				case <-v.done:
+					// A variant died without reaching the rendezvous:
+					// alarm (unless the whole group already exited).
+					detail := "variant terminated unexpectedly"
+					if v.err != nil {
+						detail = v.err.Error()
+					}
+					s.raise(&Alarm{
+						Reason:  ReasonVariantFault,
+						Syscall: "(none)",
+						Seq:     s.rendezvous,
+						Variant: i,
+						Detail:  detail,
+					}, s.msgs)
+					return
+				case <-timer.C:
+					if s.rendezvous != armedAt {
+						// Progress since the last arming: re-arm for a
+						// fresh window and keep waiting.
+						armedAt = s.rendezvous
+						timer.Reset(s.cfg.Timeout)
+						continue
+					}
+					s.raise(&Alarm{
+						Reason:  ReasonTimeout,
+						Syscall: "(none)",
+						Seq:     s.rendezvous,
+						Variant: i,
+						Detail:  fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout),
+					}, s.msgs)
+					return
 				}
-				s.raise(&Alarm{
-					Reason:  ReasonVariantFault,
-					Syscall: "(none)",
-					Seq:     s.rendezvous,
-					Variant: i,
-					Detail:  detail,
-				}, msgs)
-				return
-			case <-timer.C:
-				s.raise(&Alarm{
-					Reason:  ReasonTimeout,
-					Syscall: "(none)",
-					Seq:     s.rendezvous,
-					Variant: i,
-					Detail:  fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout),
-				}, msgs)
-				return
-			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
 			}
 		}
 
 		s.rendezvous++
-		done := s.dispatch(msgs)
+		done := s.dispatch(s.msgs)
 		if done {
 			return
 		}
@@ -361,7 +405,9 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 					return true
 				}
 			}
-			return s.execute(spec, num, []word.Word{fd0, 0, 0}, msgs, seq)
+			canon := s.canonBuf(3)
+			canon[0], canon[1], canon[2] = fd0, 0, 0
+			return s.execute(spec, num, canon, msgs, seq)
 		}
 	}
 
@@ -374,9 +420,9 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 
 	// Paths must be identical.
 	if spec.TakesPath {
-		p0 := string(msgs[0].call.Data)
+		p0 := msgs[0].call.Data
 		for i := 1; i < s.n; i++ {
-			if string(msgs[i].call.Data) != p0 {
+			if !bytes.Equal(msgs[i].call.Data, p0) {
 				s.raise(&Alarm{
 					Reason:  ReasonArgDivergence,
 					Syscall: spec.Name,
@@ -410,14 +456,24 @@ func (s *system) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm 
 	return nil
 }
 
+// canonBuf returns the reusable canonical-argument scratch, sized to
+// nargs. The returned slice is valid until the next rendezvous.
+func (s *system) canonBuf(nargs int) []word.Word {
+	if cap(s.canon) < nargs {
+		s.canon = make([]word.Word, nargs)
+	}
+	return s.canon[:nargs]
+}
+
 // canonicalArgs inverts/normalizes each variant's arguments and checks
-// cross-variant equivalence, returning variant 0's canonical vector.
+// cross-variant equivalence, returning variant 0's canonical vector
+// (borrowed scratch, valid until the next rendezvous).
 func (s *system) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Word, *Alarm) {
 	if alarm := s.checkArgCounts(spec, msgs, seq); alarm != nil {
 		return nil, alarm
 	}
 	nargs := len(spec.Args)
-	canon := make([]word.Word, nargs)
+	canon := s.canonBuf(nargs)
 	for j := 0; j < nargs; j++ {
 		kind := spec.Args[j]
 		var c0 word.Word

@@ -170,6 +170,58 @@ type message struct {
 	readyAt time.Time
 }
 
+// Payload buffer pool. Messages cross the network in pooled buffers:
+// Send copies the caller's bytes into one, SendOwned hands one over
+// without a copy, and the receiver — who owns the buffer from Recv on —
+// may return it with PutBuffer once the bytes are consumed. A bounded
+// free list (not sync.Pool) keeps Get/Put allocation-free; buffers that
+// are never returned are simply collected by the GC.
+const (
+	// minBufCap is the smallest capacity GetBuffer hands out, sized for
+	// a typical request line; response-sized buffers grow past it and
+	// keep their capacity when recycled.
+	minBufCap = 2048
+	// poolSlots bounds how many idle buffers the free list retains.
+	poolSlots = 256
+)
+
+var bufFree = make(chan []byte, poolSlots)
+
+// GetBuffer returns a length-n buffer from the pool (allocating a
+// fresh one only when the pool is empty or too small).
+func GetBuffer(n int) []byte {
+	select {
+	case b := <-bufFree:
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this message: put it back for smaller traffic
+		// and size up. (Mixed small/large workloads would otherwise
+		// steadily drain the pool.)
+		PutBuffer(b)
+	default:
+	}
+	c := minBufCap
+	for c < n {
+		c *= 2
+	}
+	return make([]byte, n, c)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch b
+// afterwards — the backing array will be handed to a future Send. Only
+// the receiver that obtained b from Recv (or a caller that never sent
+// a buffer it got from GetBuffer) may return it.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case bufFree <- b[:0]:
+	default: // pool full: let the GC have it
+	}
+}
+
 // Conn is one endpoint of a bidirectional message connection.
 type Conn struct {
 	net       *Network
@@ -186,9 +238,25 @@ func newPair(n *Network) (a, b *Conn) {
 	return a, b
 }
 
-// Send transmits data to the peer. The data is copied, so the caller
-// may reuse the buffer.
+// Send transmits data to the peer. The data is copied (into a pooled
+// buffer), so the caller may reuse its own buffer immediately.
 func (c *Conn) Send(data []byte) error {
+	buf := GetBuffer(len(data))
+	copy(buf, data)
+	if err := c.SendOwned(buf); err != nil {
+		PutBuffer(buf)
+		return err
+	}
+	return nil
+}
+
+// SendOwned transmits data to the peer without copying: ownership of
+// the backing array passes with the message, so the caller must not
+// read or write data after a nil return. The receiving side owns the
+// buffer from Recv on (and may PutBuffer it when done). This is the
+// zero-copy handoff the fleet dispatcher's proxy pumps use. On error
+// the caller keeps ownership.
+func (c *Conn) SendOwned(data []byte) error {
 	select {
 	case <-c.closed:
 		return fmt.Errorf("send: %w", ErrClosed)
@@ -196,9 +264,7 @@ func (c *Conn) Send(data []byte) error {
 		return fmt.Errorf("send: peer: %w", ErrClosed)
 	default:
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	msg := message{data: buf, readyAt: time.Now().Add(c.net.latency)}
+	msg := message{data: data, readyAt: time.Now().Add(c.net.latency)}
 	select {
 	case c.peer.in <- msg:
 		return nil
@@ -208,7 +274,10 @@ func (c *Conn) Send(data []byte) error {
 }
 
 // Recv blocks for the next message. It returns (nil, nil) on orderly
-// peer close (end of stream), mirroring a zero-byte read.
+// peer close (end of stream), mirroring a zero-byte read. The returned
+// buffer is owned by the caller: it may be retained indefinitely,
+// handed onward with SendOwned, or returned to the pool with PutBuffer
+// once its bytes are consumed.
 func (c *Conn) Recv() ([]byte, error) {
 	select {
 	case msg := <-c.in:

@@ -45,6 +45,15 @@ type Context struct {
 	exited  bool
 	scratch vmem.Addr
 	scrCap  uint32
+
+	// argBuf backs Call.Args for the convenience wrappers so the
+	// common syscall path performs zero heap allocations. Reuse is
+	// safe because a variant is a single goroutine that blocks until
+	// the monitor replies, and the monitor never reads a call's Args
+	// after replying.
+	argBuf [3]word.Word
+	// dataBuf likewise backs Call.Data for path-carrying calls.
+	dataBuf []byte
 }
 
 // NewContext builds a context. It is exported for the kernel and for
@@ -67,6 +76,33 @@ func (c *Context) Syscall(call Call) (word.Word, error) {
 	default:
 		return r.Val, nil
 	}
+}
+
+// sys0 … sys3 issue a syscall with 0–3 arguments backed by the
+// context's reusable argument buffer — no per-call slice allocation.
+func (c *Context) sys0(num Num) (word.Word, error) {
+	return c.Syscall(Call{Num: num})
+}
+
+func (c *Context) sys1(num Num, a0 word.Word) (word.Word, error) {
+	c.argBuf[0] = a0
+	return c.Syscall(Call{Num: num, Args: c.argBuf[:1]})
+}
+
+func (c *Context) sys2(num Num, a0, a1 word.Word) (word.Word, error) {
+	c.argBuf[0], c.argBuf[1] = a0, a1
+	return c.Syscall(Call{Num: num, Args: c.argBuf[:2]})
+}
+
+func (c *Context) sys3(num Num, a0, a1, a2 word.Word) (word.Word, error) {
+	c.argBuf[0], c.argBuf[1], c.argBuf[2] = a0, a1, a2
+	return c.Syscall(Call{Num: num, Args: c.argBuf[:3]})
+}
+
+// pathData stages path into the context's reusable Data buffer.
+func (c *Context) pathData(path string) []byte {
+	c.dataBuf = append(c.dataBuf[:0], path...)
+	return c.dataBuf
 }
 
 // scratchBuf returns a reusable scratch region of at least n bytes in
@@ -94,48 +130,51 @@ func (c *Context) Exit(status word.Word) error {
 	if c.exited {
 		return nil
 	}
-	_, err := c.Syscall(Call{Num: Exit, Args: []word.Word{status}})
+	_, err := c.sys1(Exit, status)
 	c.exited = true
 	return err
 }
 
 // Open opens path with the given flags, returning a file descriptor.
 func (c *Context) Open(path string, flags vos.OpenFlag, perm vos.Mode) (int, error) {
-	v, err := c.Syscall(Call{
-		Num:  Open,
-		Args: []word.Word{word.Word(flags), word.Word(perm)},
-		Data: []byte(path),
-	})
+	c.argBuf[0], c.argBuf[1] = word.Word(flags), word.Word(perm)
+	v, err := c.Syscall(Call{Num: Open, Args: c.argBuf[:2], Data: c.pathData(path)})
 	return int(v), err
 }
 
 // Close closes a file descriptor.
 func (c *Context) Close(fd int) error {
-	_, err := c.Syscall(Call{Num: CloseFD, Args: []word.Word{word.Word(fd)}})
+	_, err := c.sys1(CloseFD, word.Word(fd))
 	return err
 }
 
 // ReadMem reads up to n bytes from fd into variant memory at addr.
 func (c *Context) ReadMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
-	v, err := c.Syscall(Call{Num: Read, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	v, err := c.sys3(Read, word.Word(fd), addr, word.Word(n))
 	return uint32(v), err
 }
 
 // WriteMem writes n bytes from variant memory at addr to fd.
 func (c *Context) WriteMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
-	v, err := c.Syscall(Call{Num: Write, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	v, err := c.sys3(Write, word.Word(fd), addr, word.Word(n))
 	return uint32(v), err
 }
 
 // ReadAll reads fd to end of file and returns the contents as Go
 // bytes (copied out of variant memory).
 func (c *Context) ReadAll(fd int) ([]byte, error) {
+	return c.ReadAllInto(fd, nil)
+}
+
+// ReadAllInto is ReadAll appending onto buf — pass a reused buf[:0] to
+// read repeatedly without allocating (the httpd request loop does).
+func (c *Context) ReadAllInto(fd int, buf []byte) ([]byte, error) {
 	const chunk = 4096
 	addr, err := c.scratchBuf(chunk)
 	if err != nil {
 		return nil, err
 	}
-	var out []byte
+	out := buf
 	for {
 		n, err := c.ReadMem(fd, addr, chunk)
 		if err != nil {
@@ -144,11 +183,18 @@ func (c *Context) ReadAll(fd int) ([]byte, error) {
 		if n == 0 {
 			return out, nil
 		}
-		b, err := c.Mem.ReadBytes(addr, n)
-		if err != nil {
+		start := len(out)
+		need := start + int(n)
+		if cap(out) < need {
+			grown := make([]byte, need, 2*need)
+			copy(grown, out)
+			out = grown
+		} else {
+			out = out[:need]
+		}
+		if err := c.Mem.ReadBytesInto(addr, out[start:]); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
 	}
 }
 
@@ -158,7 +204,7 @@ func (c *Context) WriteString(fd int, s string) error {
 	if err != nil {
 		return err
 	}
-	if err := c.Mem.WriteBytes(addr, []byte(s)); err != nil {
+	if err := c.Mem.WriteString(addr, s); err != nil {
 		return err
 	}
 	_, err = c.WriteMem(fd, addr, uint32(len(s)))
@@ -170,83 +216,83 @@ func (c *Context) WriteString(fd int, s string) error {
 // UIDs out of inodes, which keeps the UID target interface confined
 // to the credential syscalls as in the paper.)
 func (c *Context) Stat(path string) (uint32, error) {
-	v, err := c.Syscall(Call{Num: Stat, Data: []byte(path)})
+	v, err := c.Syscall(Call{Num: Stat, Data: c.pathData(path)})
 	return uint32(v), err
 }
 
 // Getuid returns the real UID in this variant's representation.
 func (c *Context) Getuid() (vos.UID, error) {
-	return c.Syscall(Call{Num: Getuid})
+	return c.sys0(Getuid)
 }
 
 // Geteuid returns the effective UID in this variant's representation.
 func (c *Context) Geteuid() (vos.UID, error) {
-	return c.Syscall(Call{Num: Geteuid})
+	return c.sys0(Geteuid)
 }
 
 // Getgid returns the real GID in this variant's representation.
 func (c *Context) Getgid() (vos.GID, error) {
-	return c.Syscall(Call{Num: Getgid})
+	return c.sys0(Getgid)
 }
 
 // Getegid returns the effective GID in this variant's representation.
 func (c *Context) Getegid() (vos.GID, error) {
-	return c.Syscall(Call{Num: Getegid})
+	return c.sys0(Getegid)
 }
 
 // Setuid sets the process UID; u is in this variant's representation.
 func (c *Context) Setuid(u vos.UID) error {
-	_, err := c.Syscall(Call{Num: Setuid, Args: []word.Word{u}})
+	_, err := c.sys1(Setuid, u)
 	return err
 }
 
 // Seteuid sets the effective UID.
 func (c *Context) Seteuid(u vos.UID) error {
-	_, err := c.Syscall(Call{Num: Seteuid, Args: []word.Word{u}})
+	_, err := c.sys1(Seteuid, u)
 	return err
 }
 
 // Setreuid sets real and effective UIDs (NoChange semantics apply to
 // the canonical values).
 func (c *Context) Setreuid(ruid, euid vos.UID) error {
-	_, err := c.Syscall(Call{Num: Setreuid, Args: []word.Word{ruid, euid}})
+	_, err := c.sys2(Setreuid, ruid, euid)
 	return err
 }
 
 // Setgid sets the process GID.
 func (c *Context) Setgid(g vos.GID) error {
-	_, err := c.Syscall(Call{Num: Setgid, Args: []word.Word{g}})
+	_, err := c.sys1(Setgid, g)
 	return err
 }
 
 // Setegid sets the effective GID.
 func (c *Context) Setegid(g vos.GID) error {
-	_, err := c.Syscall(Call{Num: Setegid, Args: []word.Word{g}})
+	_, err := c.sys1(Setegid, g)
 	return err
 }
 
 // Listen binds a listening socket on port.
 func (c *Context) Listen(port uint16) (int, error) {
-	v, err := c.Syscall(Call{Num: Listen, Args: []word.Word{word.Word(port)}})
+	v, err := c.sys1(Listen, word.Word(port))
 	return int(v), err
 }
 
 // Accept waits for a connection on listener fd lfd.
 func (c *Context) Accept(lfd int) (int, error) {
-	v, err := c.Syscall(Call{Num: Accept, Args: []word.Word{word.Word(lfd)}})
+	v, err := c.sys1(Accept, word.Word(lfd))
 	return int(v), err
 }
 
 // RecvMem receives one message into variant memory at addr (capacity
 // n). It returns the message length; 0 means end of stream.
 func (c *Context) RecvMem(fd int, addr vmem.Addr, n uint32) (uint32, error) {
-	v, err := c.Syscall(Call{Num: Recv, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	v, err := c.sys3(Recv, word.Word(fd), addr, word.Word(n))
 	return uint32(v), err
 }
 
 // SendMem transmits n bytes of variant memory at addr on fd.
 func (c *Context) SendMem(fd int, addr vmem.Addr, n uint32) error {
-	_, err := c.Syscall(Call{Num: Send, Args: []word.Word{word.Word(fd), addr, word.Word(n)}})
+	_, err := c.sys3(Send, word.Word(fd), addr, word.Word(n))
 	return err
 }
 
@@ -256,29 +302,42 @@ func (c *Context) SendString(fd int, s string) error {
 	if err != nil {
 		return err
 	}
-	if err := c.Mem.WriteBytes(addr, []byte(s)); err != nil {
+	if err := c.Mem.WriteString(addr, s); err != nil {
 		return err
 	}
 	return c.SendMem(fd, addr, uint32(len(s)))
 }
 
+// SendBytes transmits b on fd via the scratch buffer — the
+// allocation-free sibling of SendString for reused response buffers.
+func (c *Context) SendBytes(fd int, b []byte) error {
+	addr, err := c.scratchBuf(uint32(len(b)))
+	if err != nil {
+		return err
+	}
+	if err := c.Mem.WriteBytes(addr, b); err != nil {
+		return err
+	}
+	return c.SendMem(fd, addr, uint32(len(b)))
+}
+
 // Time returns the kernel's virtual timestamp (identical across
 // variants).
 func (c *Context) Time() (word.Word, error) {
-	return c.Syscall(Call{Num: Time})
+	return c.sys0(Time)
 }
 
 // UIDValue exposes a single UID value to the monitor (Table 2):
 // the kernel checks cross-variant equivalence and returns the value
 // unchanged.
 func (c *Context) UIDValue(u vos.UID) (vos.UID, error) {
-	return c.Syscall(Call{Num: UIDValue, Args: []word.Word{u}})
+	return c.sys1(UIDValue, u)
 }
 
 // CondChk exposes a UID-influenced condition value to the monitor
 // (Table 2) and returns it.
 func (c *Context) CondChk(b bool) (bool, error) {
-	v, err := c.Syscall(Call{Num: CondChk, Args: []word.Word{boolWord(b)}})
+	v, err := c.sys1(CondChk, boolWord(b))
 	return v != 0, err
 }
 
@@ -301,7 +360,7 @@ func (c *Context) CCGt(a, b vos.UID) (bool, error) { return c.cc(CCGt, a, b) }
 func (c *Context) CCGeq(a, b vos.UID) (bool, error) { return c.cc(CCGeq, a, b) }
 
 func (c *Context) cc(num Num, a, b vos.UID) (bool, error) {
-	v, err := c.Syscall(Call{Num: num, Args: []word.Word{a, b}})
+	v, err := c.sys2(num, a, b)
 	return v != 0, err
 }
 

@@ -82,7 +82,7 @@ const (
 
 // String names the syscall as in the paper.
 func (n Num) String() string {
-	if s, ok := specs[n]; ok {
+	if s, ok := SpecFor(n); ok {
 		return s.Name
 	}
 	return "unknown"
@@ -178,10 +178,29 @@ var specs = map[Num]Spec{
 	CCGeq:    {Name: "cc_geq", Class: ClassDetect, Args: []ArgKind{ArgUID, ArgUID}},
 }
 
+// specTable is the dense array form of specs, indexed by Num — the
+// monitor does one SpecFor per rendezvous, so the lookup should be an
+// array load, not a map probe.
+var specTable = func() []Spec {
+	max := Num(0)
+	for n := range specs {
+		if n > max {
+			max = n
+		}
+	}
+	t := make([]Spec, max+1)
+	for n, s := range specs {
+		t[n] = s
+	}
+	return t
+}()
+
 // SpecFor returns the spec for a syscall number.
 func SpecFor(n Num) (Spec, bool) {
-	s, ok := specs[n]
-	return s, ok
+	if n <= 0 || int(n) >= len(specTable) || specTable[n].Name == "" {
+		return Spec{}, false
+	}
+	return specTable[n], true
 }
 
 // DetectionCalls lists the Table 2 syscalls in paper order.
@@ -189,7 +208,9 @@ func DetectionCalls() []Num {
 	return []Num{UIDValue, CondChk, CCEq, CCNeq, CCLt, CCLeq, CCGt, CCGeq}
 }
 
-// Call is one system call as issued by a variant.
+// Call is one system call as issued by a variant. Args and Data are
+// borrowed from the issuing context's reusable buffers: the kernel may
+// read them only until it replies to the call, never after.
 type Call struct {
 	// Num is the syscall number.
 	Num Num

@@ -6,6 +6,7 @@ import (
 
 	"nvariant/internal/vmem"
 	"nvariant/internal/vos"
+	"nvariant/internal/word"
 )
 
 func TestSpecTable(t *testing.T) {
@@ -76,14 +77,20 @@ func TestUIDArgKinds(t *testing.T) {
 	}
 }
 
-// fakeInvoker records calls and returns scripted replies.
+// fakeInvoker records calls and returns scripted replies. Like the
+// real monitor, an invoker owns a call's Args/Data only until it
+// replies — the wrappers reuse the context's backing buffers — so the
+// recorder snapshots them before returning.
 type fakeInvoker struct {
 	calls   []Call
 	replies []Reply
 }
 
 func (f *fakeInvoker) invoke(c Call) Reply {
-	f.calls = append(f.calls, c)
+	rec := c
+	rec.Args = append([]word.Word(nil), c.Args...)
+	rec.Data = append([]byte(nil), c.Data...)
+	f.calls = append(f.calls, rec)
 	if len(f.replies) == 0 {
 		return Reply{}
 	}

@@ -281,22 +281,61 @@ func (s *Space) ReadBytes(addr Addr, n uint32) ([]byte, error) {
 		return nil, &SegfaultError{Addr: addr, Op: "read"}
 	}
 	out := make([]byte, n)
-	for i := uint32(0); i < n; i++ {
-		a := addr + Addr(i)
-		out[i] = s.page(a)[a%PageSize]
+	if err := s.readInto(addr, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// WriteBytes stores b starting at addr.
+// ReadBytesInto loads len(buf) bytes starting at addr into buf — the
+// allocation-free form of ReadBytes for callers that reuse a scratch
+// buffer (the monitor's payload gathering, httpd's request parsing).
+func (s *Space) ReadBytesInto(addr Addr, buf []byte) error {
+	if !s.mapped(addr, uint32(len(buf))) {
+		return &SegfaultError{Addr: addr, Op: "read"}
+	}
+	return s.readInto(addr, buf)
+}
+
+// readInto copies the (already validated) range into buf page by page.
+func (s *Space) readInto(addr Addr, buf []byte) error {
+	for i := 0; i < len(buf); {
+		a := addr + Addr(i)
+		off := a % PageSize
+		n := copy(buf[i:], s.page(a)[off:])
+		i += n
+	}
+	return nil
+}
+
+// writeInto copies src into the (already validated) range page by
+// page. Generic over string and []byte so WriteBytes and WriteString
+// share one copy loop.
+func writeInto[T ~string | ~[]byte](s *Space, addr Addr, src T) {
+	for i := 0; i < len(src); {
+		a := addr + Addr(i)
+		off := a % PageSize
+		n := copy(s.page(a)[off:], src[i:])
+		i += n
+	}
+}
+
+// WriteBytes stores b starting at addr, copying page by page.
 func (s *Space) WriteBytes(addr Addr, b []byte) error {
 	if !s.mapped(addr, uint32(len(b))) {
 		return &SegfaultError{Addr: addr, Op: "write"}
 	}
-	for i, v := range b {
-		a := addr + Addr(i)
-		s.page(a)[a%PageSize] = v
+	writeInto(s, addr, b)
+	return nil
+}
+
+// WriteString stores str starting at addr, page by page, without the
+// []byte conversion (and its allocation) WriteBytes would need.
+func (s *Space) WriteString(addr Addr, str string) error {
+	if !s.mapped(addr, uint32(len(str))) {
+		return &SegfaultError{Addr: addr, Op: "write"}
 	}
+	writeInto(s, addr, str)
 	return nil
 }
 
