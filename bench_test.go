@@ -192,6 +192,65 @@ func BenchmarkTable3Config4Saturated(b *testing.B) {
 	benchTable3(b, harness.Config4UIDVariation, 15, 12)
 }
 
+// --- Worker lanes: intra-group concurrency (prefork sweep) ------------
+
+// benchTable3Workers measures the full configuration-4 stack under the
+// paper's saturated load with W prefork worker lanes over the shared
+// listener. Unlike benchTable3 it does not pin GOMAXPROCS — prefork
+// exists to use the hardware. The per-request cost mixes a blocking
+// service component (ServiceTime, which lanes overlap even on one
+// CPU — the reason Apache preforks) with a CPU component (WorkFactor,
+// which scales only up to GOMAXPROCS), so the sweep shows near-linear
+// KB/s scaling in W until one of the two saturates.
+func benchTable3Workers(b *testing.B, workers int) {
+	b.Helper()
+	serverOpts := httpd.Options{
+		WorkFactor:  50,
+		ServiceTime: 500 * time.Microsecond,
+		Workers:     workers,
+	}
+	var totalKBps, totalMs float64
+	for i := 0; i < b.N; i++ {
+		h, err := harness.Start(harness.Config4UIDVariation, serverOpts, time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := webbench.Run(h.Net, h.Port, webbench.Options{
+			Engines:           15,
+			RequestsPerEngine: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.Stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Alarm != nil {
+			b.Fatalf("false alarm under benign load: %v", res.Alarm)
+		}
+		if res.Workers != workers {
+			b.Fatalf("group ran %d lanes, want %d", res.Workers, workers)
+		}
+		if m.Errors > 0 {
+			b.Fatalf("%d request errors", m.Errors)
+		}
+		totalKBps += m.ThroughputKBps()
+		totalMs += float64(m.MeanLatency().Microseconds()) / 1000
+	}
+	b.ReportMetric(totalKBps/float64(b.N), "KB/s")
+	b.ReportMetric(totalMs/float64(b.N), "ms/req")
+}
+
+func BenchmarkTable3Config4Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchTable3Workers(b, w)
+		})
+	}
+}
+
 // --- Figure 1: address-partitioning detection -------------------------
 
 func BenchmarkFigure1Detection(b *testing.B) {

@@ -7,13 +7,17 @@
 //
 //	go test -run '^$' -bench ... -benchmem | benchjson -label PR7        # one report
 //	... | benchjson -label PR7 -append BENCH_core.json                   # extend a trajectory
-//	... | benchjson -gate BENCH_core.json                                # fail on allocs/op regressions
+//	... | benchjson -gate BENCH_core.json                                # fail on regressions
 //
 // A trajectory file is a JSON array of reports, ordered oldest first.
 // -gate compares the parsed input against the newest report in the
-// given trajectory and exits non-zero when any shared benchmark's
-// allocs/op grew by more than the tolerance — the CI tripwire that
-// makes allocation regressions fail loudly.
+// given trajectory and exits non-zero when any shared benchmark
+// regressed beyond tolerance — the CI tripwire that makes performance
+// regressions fail loudly. Two regression classes are gated: allocs/op
+// growth (-tolerance), and the custom throughput/latency metrics KB/s
+// (which must not drop) and ms/req (which must not grow) within
+// -metric-tolerance — so a change that keeps allocations flat but
+// halves saturated throughput still fails the build.
 package main
 
 import (
@@ -84,6 +88,7 @@ func main() {
 	appendTo := flag.String("append", "", "existing trajectory file to extend (output is the whole array)")
 	gate := flag.String("gate", "", "trajectory file to regression-gate against (no JSON output)")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth before -gate fails")
+	metricTolerance := flag.Float64("metric-tolerance", 0.25, "allowed fractional KB/s drop or ms/req growth before -gate fails (throughput benches are noisier than allocation counts)")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin, *label)
@@ -97,7 +102,7 @@ func main() {
 	}
 
 	if *gate != "" {
-		if err := gateAgainst(*gate, rep, *tolerance); err != nil {
+		if err := gateAgainst(*gate, rep, *tolerance, *metricTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -193,9 +198,29 @@ func readTrajectory(path string) ([]Report, error) {
 	return []Report{one}, nil
 }
 
-// gateAgainst compares cur's allocs/op against the newest report in
-// the trajectory at path.
-func gateAgainst(path string, cur Report, tolerance float64) error {
+// gatedMetrics lists the custom metrics the gate watches, with their
+// improvement direction: higherBetter metrics fail on a drop beyond
+// tolerance, the rest fail on growth.
+var gatedMetrics = []struct {
+	unit         string
+	higherBetter bool
+}{
+	{"KB/s", true},
+	{"ms/req", false},
+}
+
+// metricRegression reports whether cur regressed against base beyond
+// tolerance, for the given direction.
+func metricRegression(base, cur float64, higherBetter bool, tolerance float64) bool {
+	if higherBetter {
+		return cur < base*(1-tolerance)
+	}
+	return cur > base*(1+tolerance)
+}
+
+// gateAgainst compares cur's allocs/op and gated custom metrics
+// against the newest report in the trajectory at path.
+func gateAgainst(path string, cur Report, tolerance, metricTolerance float64) error {
 	traj, err := readTrajectory(path)
 	if err != nil {
 		return err
@@ -223,6 +248,29 @@ func gateAgainst(path string, cur Report, tolerance float64) error {
 			regressed = append(regressed, b.Name)
 		}
 		fmt.Printf("%-48s allocs/op %10.0f -> %10.0f  %s\n", b.Name, bb.AllocsPerOp, b.AllocsPerOp, status)
+		for _, gm := range gatedMetrics {
+			bv, inBase := bb.Metrics[gm.unit]
+			if !inBase {
+				continue // metric newly added by this run: nothing to gate yet
+			}
+			cv, inCur := b.Metrics[gm.unit]
+			if !inCur {
+				// A gated metric the baseline reports has vanished from
+				// the input (a dropped ReportMetric call, a parse
+				// change): failing loudly beats silently un-gating the
+				// regression class this tripwire exists for — the same
+				// reasoning as the missing-bench guard below.
+				regressed = append(regressed, b.Name+" ["+gm.unit+" missing from input]")
+				fmt.Printf("%-48s %-9s %10.2f -> %10s  MISSING\n", b.Name, gm.unit, bv, "(none)")
+				continue
+			}
+			status := "ok"
+			if metricRegression(bv, cv, gm.higherBetter, metricTolerance) {
+				status = "REGRESSED"
+				regressed = append(regressed, b.Name+" ["+gm.unit+"]")
+			}
+			fmt.Printf("%-48s %-9s %10.2f -> %10.2f  %s\n", b.Name, gm.unit, bv, cv, status)
+		}
 	}
 	// A baseline bench missing from the input would otherwise escape
 	// the gate entirely (a typo'd CI bench regex silently passing is
@@ -238,8 +286,8 @@ func gateAgainst(path string, cur Report, tolerance float64) error {
 			strings.Join(missing, ", "))
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("allocs/op regressed beyond %.0f%% vs %q: %s",
-			tolerance*100, base.Label, strings.Join(regressed, ", "))
+		return fmt.Errorf("regressed beyond tolerance (allocs/op %.0f%%, metrics %.0f%%) vs %q: %s",
+			tolerance*100, metricTolerance*100, base.Label, strings.Join(regressed, ", "))
 	}
 	return nil
 }

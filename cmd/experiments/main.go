@@ -17,6 +17,7 @@ func main() {
 }
 
 func run() error {
+	workers := flag.Int("workers", 0, "prefork worker-lane count for the nsweep servers (0 = serial)")
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
@@ -67,7 +68,9 @@ func run() error {
 			}
 			res.Fprint(os.Stdout)
 		case "nsweep":
-			res, err := experiments.RunNSweep(experiments.DefaultNSweepOptions())
+			opts := experiments.DefaultNSweepOptions()
+			opts.Workers = *workers
+			res, err := experiments.RunNSweep(opts)
 			if err != nil {
 				return err
 			}

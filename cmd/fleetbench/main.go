@@ -59,6 +59,7 @@ type report struct {
 	Variants string `json:"variants"`
 	Stack    string `json:"stack"`
 	Work     int    `json:"work"`
+	Workers  int    `json:"workers,omitempty"`
 	Cells    []cell `json:"cells"`
 }
 
@@ -70,6 +71,7 @@ func run() error {
 	latency := flag.Duration("latency", 0, "one-way wire latency")
 	policyName := flag.String("policy", "round-robin", "balancing policy: round-robin or least-loaded")
 	variantsFlag := flag.String("variants", "2", "per-group variant count N, or a range like 2-4")
+	workers := flag.Int("workers", 0, "per-group prefork worker-lane count (0 = serial groups)")
 	stackFlag := flag.String("stack", "", "variation stack per group spec (e.g. uid,addr,files; default: the full §4 stack)")
 	jsonOut := flag.Bool("json", false, "emit the sweep as JSON on stdout")
 	attackMode := flag.Bool("attack", false, "run the fleet-under-attack scenario instead of the sweep")
@@ -119,6 +121,7 @@ func run() error {
 		opts.Variants = minVariants
 		opts.MaxVariants = maxVariants
 		opts.Stack = stack
+		opts.Workers = *workers
 		r, err := experiments.RunFleetAttack(opts)
 		if err != nil {
 			return err
@@ -146,6 +149,7 @@ func run() error {
 		Variants:    minVariants,
 		MaxVariants: maxVariants,
 		Stack:       stack,
+		Workers:     *workers,
 	}
 
 	rep := report{
@@ -154,10 +158,11 @@ func run() error {
 		Variants: *variantsFlag,
 		Stack:    *stackFlag,
 		Work:     *workFactor,
+		Workers:  *workers,
 	}
 	if !*jsonOut {
-		fmt.Printf("Fleet scaling sweep (policy %s, N=%s, %d requests/engine, work factor %d, latency %v)\n",
-			policy, *variantsFlag, *requests, *workFactor, *latency)
+		fmt.Printf("Fleet scaling sweep (policy %s, N=%s, W=%d, %d requests/engine, work factor %d, latency %v)\n",
+			policy, *variantsFlag, *workers, *requests, *workFactor, *latency)
 		fmt.Printf("%-8s %-9s %12s %10s %10s %10s %8s\n",
 			"pool", "engines", "KB/s", "mean ms", "p95 ms", "p99 ms", "errors")
 	}

@@ -30,6 +30,10 @@ type FleetAttackOptions struct {
 	// Stack is the variation stack of each defended group's generated
 	// spec (nil means the fleet's default full §4 stack).
 	Stack []reexpress.LayerKind
+	// Workers is the per-group prefork worker-lane count (0 = serial
+	// groups). Detection semantics are unchanged: a probe corrupts the
+	// lane it lands on, and that lane's alarm kills the whole group.
+	Workers int
 	// Engines is the concurrent webbench engine count (15 = the
 	// paper's saturated operating point).
 	Engines int
@@ -173,6 +177,7 @@ func runFleetPhase(opts FleetAttackOptions, cfg harness.Configuration, probes in
 		Variants:    opts.Variants,
 		MaxVariants: opts.MaxVariants,
 		Stack:       opts.Stack,
+		Workers:     opts.Workers,
 		Server:      serverOpts,
 		Policy:      opts.Policy,
 		Latency:     opts.Latency,

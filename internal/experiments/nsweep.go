@@ -34,6 +34,8 @@ type NSweepOptions struct {
 	RequestsPerEngine int
 	// WorkFactor is the per-request CPU work in the servers.
 	WorkFactor int
+	// Workers is the per-group prefork worker-lane count (0 = serial).
+	Workers int
 	// Latency is the simulated one-way wire latency.
 	Latency time.Duration
 	// Seed drives spec generation (0 means a fixed default so runs are
@@ -131,6 +133,7 @@ func startNSweepGroup(opts NSweepOptions, spec *reexpress.Spec) (*harness.Handle
 		Config:    harness.Config4UIDVariation,
 		Server:    serverOpts,
 		Diversity: spec,
+		Workers:   opts.Workers,
 	})
 }
 
@@ -195,10 +198,19 @@ func runNSweepTrial(opts NSweepOptions, spec *reexpress.Spec) (detected, leaked 
 		return false, false, fmt.Errorf("overflow: %w", err)
 	}
 	// Trigger the first use of the forged UID. On detection the monitor
-	// kills the group and the connection drops with no response.
-	code, body, _ := client.Get("/private/secret.html")
-	if code == 200 && httpd.ContainsSecret(body) {
-		leaked = true
+	// kills the group and the connection drops with no response. With
+	// worker lanes the trigger must reach the lane the overflow
+	// corrupted (siblings serve it as a benign 403), so keep probing
+	// until the kill — or a disclosure/deadline on a failed detection.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body, err := client.Get("/private/secret.html")
+		if err == nil && code == 200 && httpd.ContainsSecret(body) {
+			leaked = true
+		}
+		if err != nil || leaked || time.Now().After(deadline) {
+			break
+		}
 	}
 	res, err := h.Stop()
 	if err != nil {

@@ -1,0 +1,64 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"nvariant/internal/experiments"
+)
+
+func TestNSweepDetectsWithWorkers(t *testing.T) {
+	// The N-sweep's detection contract must survive intra-group
+	// concurrency: with prefork worker lanes, every injected divergence
+	// is still detected (the trial drives triggers until the corrupted
+	// lane sees one) and nothing leaks.
+	opts := experiments.NSweepOptions{
+		Ns:                []int{2, 3},
+		Trials:            2,
+		Engines:           4,
+		RequestsPerEngine: 6,
+		WorkFactor:        20,
+		Workers:           3,
+	}
+	rep, err := experiments.RunNSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row.Detections != row.Trials {
+			t.Errorf("N=%d: detections = %d/%d with workers", row.N, row.Detections, row.Trials)
+		}
+		if row.Leaks != 0 {
+			t.Errorf("N=%d: %d leaks with workers", row.N, row.Leaks)
+		}
+		if row.Load.Errors != 0 {
+			t.Errorf("N=%d: %d benign-load errors with workers", row.N, row.Load.Errors)
+		}
+	}
+}
+
+func TestFleetAttackWithWorkers(t *testing.T) {
+	// The full availability experiment at W > 1: all probes detected,
+	// no defended leaks, and the undefended fleet still leaks (the
+	// corrupted lane keeps serving there, proving the attack works
+	// without diversity even under prefork).
+	opts := experiments.DefaultFleetAttackOptions()
+	opts.Groups = 2
+	opts.Engines = 4
+	opts.RequestsPerEngine = 8
+	opts.Probes = 2
+	opts.WorkFactor = 20
+	opts.Workers = 2
+	rep, err := experiments.RunFleetAttack(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detections != opts.Probes {
+		t.Errorf("detections = %d, want %d", rep.Detections, opts.Probes)
+	}
+	if rep.DefendedLeaks != 0 {
+		t.Errorf("defended leaks = %d, want 0", rep.DefendedLeaks)
+	}
+	if rep.UndefendedLeaks == 0 {
+		t.Error("undefended fleet never leaked: attack did not work under prefork")
+	}
+}

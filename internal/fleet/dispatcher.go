@@ -69,13 +69,16 @@ func (f *Fleet) pick() *group {
 	case LeastLoaded:
 		// Scan from a rotating start so ties round-robin instead of
 		// hot-spotting the lowest-indexed group (sequential clients
-		// would otherwise all land on group 0).
+		// would otherwise all land on group 0). Load is in-flight
+		// connections normalized by worker-lane capacity (compared
+		// cross-multiplied to stay in integers): a W-lane group absorbs
+		// W connections before looking as loaded as a serial one.
 		n := len(pool)
 		start := int(f.rr.Add(1)-1) % n
 		best := pool[start]
 		for i := 1; i < n; i++ {
 			g := pool[(start+i)%n]
-			if g.inflight.Load() < best.inflight.Load() {
+			if g.inflight.Load()*int64(best.workers) < best.inflight.Load()*int64(g.workers) {
 				best = g
 			}
 		}

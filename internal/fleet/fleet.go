@@ -66,6 +66,10 @@ type Options struct {
 	// spec (default: uid + address-partition + unshared-files, the
 	// paper's full §4 deployment).
 	Stack []reexpress.LayerKind
+	// Workers is the per-group prefork worker-lane count (0/1 = serial
+	// groups): each group serves Workers connections concurrently, and
+	// the least-loaded policy weighs in-flight counts against it.
+	Workers int
 	// Server configures the httpd program of every group.
 	Server httpd.Options
 	// Policy selects the balancing policy (default RoundRobin).
@@ -243,7 +247,11 @@ func (f *Fleet) spawn() (*group, error) {
 		f.mu.Unlock()
 		return nil, err
 	}
-	g := &group{id: id, port: port, spec: spec, variants: variants, r1: r1, handle: h}
+	workers := f.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	g := &group{id: id, port: port, spec: spec, variants: variants, workers: workers, r1: r1, handle: h}
 
 	f.mu.Lock()
 	if f.closed {
@@ -421,6 +429,7 @@ func (f *Fleet) Stats() Stats {
 			ID:       g.id,
 			Port:     g.port,
 			Variants: g.variants,
+			Workers:  g.workers,
 			Stack:    stack,
 			R1:       g.r1,
 			Inflight: g.inflight.Load(),

@@ -23,6 +23,10 @@ type group struct {
 	spec *reexpress.Spec
 	// variants is the group's process-group size N.
 	variants int
+	// workers is the group's prefork worker-lane count (≥ 1): its
+	// concurrent-request capacity, which the least-loaded policy
+	// normalizes in-flight counts by.
+	workers int
 	// r1 names the variant-1 effective UID reexpression function
 	// actually deployed ("(none)" for single-variant configurations) —
 	// the stat the two-variant audit trail always recorded.
@@ -105,10 +109,11 @@ func (f *Fleet) specFor(port uint16, spec *reexpress.Spec) harness.GroupSpec {
 		Server:    f.opts.Server,
 		Port:      port,
 		Diversity: spec,
+		Workers:   f.opts.Workers,
 	}
 }
 
 // String identifies the group in logs.
 func (g *group) String() string {
-	return fmt.Sprintf("group %d (port %d, n=%d, R1=%s)", g.id, g.port, g.variants, g.r1)
+	return fmt.Sprintf("group %d (port %d, n=%d, w=%d, R1=%s)", g.id, g.port, g.variants, g.workers, g.r1)
 }

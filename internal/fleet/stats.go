@@ -13,6 +13,9 @@ type GroupStat struct {
 	Port uint16
 	// Variants is the group's process-group size N.
 	Variants int
+	// Workers is the group's prefork worker-lane count (its concurrent
+	// request capacity; 1 = serial).
+	Workers int
 	// Stack names the group's variation stack (empty for undiversified
 	// configurations).
 	Stack string
@@ -55,7 +58,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d dispatched (%d errors)",
 		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Dispatched, s.DispatchErrors)
 	for _, g := range s.Healthy {
-		fmt.Fprintf(&b, "\n  group %d port=%d n=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.Variants, g.R1, g.Inflight, g.Served)
+		fmt.Fprintf(&b, "\n  group %d port=%d n=%d w=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.Variants, g.Workers, g.R1, g.Inflight, g.Served)
 	}
 	return b.String()
 }

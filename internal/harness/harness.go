@@ -81,6 +81,12 @@ type GroupSpec struct {
 	// Config4UIDVariation, kept so pre-DiversitySpec call sites
 	// continue to compile; it is ignored when Diversity is set.
 	Pair *reexpress.Pair
+	// Workers is the per-group prefork worker-lane count; when > 0 it
+	// overrides Server.Workers, so fleets can widen every spawned
+	// group without touching the server options. The group then serves
+	// Workers connections concurrently (any alarm in any lane still
+	// kills the whole group).
+	Workers int
 }
 
 // port returns the effective listening port.
@@ -137,6 +143,9 @@ func BuildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Opti
 		return nil, nil, err
 	}
 	serverOpts := spec.Server
+	if spec.Workers > 0 {
+		serverOpts.Workers = spec.Workers
+	}
 	switch spec.Config {
 	case Config1Unmodified:
 		return []sys.Program{httpd.New(serverOpts, httpd.Consts{Root: vos.Root})}, nil, nil

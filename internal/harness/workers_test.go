@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/httpd"
+	"nvariant/internal/nvkernel"
+	"nvariant/internal/simnet"
+	"nvariant/internal/vos"
+	"nvariant/internal/webbench"
+)
+
+func TestWorkersServeBenignLoad(t *testing.T) {
+	// Every configuration preforks cleanly and serves concurrent load
+	// with no false alarm; the kernel reports the lane count.
+	for _, c := range []Configuration{
+		Config1Unmodified, Config2Transformed, Config3AddressSpace, Config4UIDVariation,
+	} {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			opts := httpd.DefaultOptions()
+			opts.Workers = 4
+			h := startConfig(t, c, opts)
+			m, err := webbench.Run(h.Net, h.Port, webbench.Options{Engines: 8, RequestsPerEngine: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Errors > 0 {
+				t.Fatalf("%d request errors under benign load", m.Errors)
+			}
+			res, err := h.Stop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Clean {
+				t.Fatalf("not clean: %+v", res.Alarm)
+			}
+			if res.Workers != 4 {
+				t.Errorf("workers = %d, want 4", res.Workers)
+			}
+		})
+	}
+}
+
+func TestAttackDetectedAtWorkers(t *testing.T) {
+	// The detection contract at W > 1: the overflow corrupts one lane's
+	// UID word; the trigger must be detected as soon as it reaches that
+	// lane (sibling lanes serve it as a benign 403), the whole group
+	// dies, and the secret never leaks.
+	spec := GroupSpec{Config: Config4UIDVariation, Workers: 4}
+	h, err := StartSpec(simnet.New(0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := h.Client()
+
+	if _, err := cl.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+		t.Fatalf("overflow request: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body, err := cl.Get("/private/secret.html")
+		if err == nil && code == 200 && httpd.ContainsSecret(body) {
+			t.Fatal("secret leaked from a worker lane")
+		}
+		if err != nil {
+			// The monitor killed the group: the connection dropped with
+			// no response, exactly what a direct attacker observes.
+			if !errors.Is(err, httpd.ErrConnClosed) {
+				t.Logf("note: attacker observed %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never reached the corrupted lane")
+		}
+	}
+
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alarm == nil || res.Alarm.Reason != nvkernel.ReasonUIDDivergence {
+		t.Fatalf("alarm = %+v, want uid-divergence", res.Alarm)
+	}
+	if res.Alarm.Syscall != "uid_value" {
+		t.Errorf("alarm at %q, want uid_value", res.Alarm.Syscall)
+	}
+	if res.Alarm.Worker < 0 || res.Alarm.Worker >= 4 {
+		t.Errorf("alarm worker = %d, want a lane in [0,4)", res.Alarm.Worker)
+	}
+}
+
+func TestMaxConnsWithWorkers(t *testing.T) {
+	// The scoreboard-backed budget: with concurrent lanes the group
+	// still shuts down deterministically once MaxConns connections are
+	// served, with no false alarm from divergent per-lane stop
+	// decisions.
+	opts := httpd.DefaultOptions()
+	opts.MaxConns = 4
+	opts.Workers = 3
+	h := startConfig(t, Config4UIDVariation, opts)
+	cl := h.Client()
+	for i := 0; i < opts.MaxConns; i++ {
+		if code, _, err := cl.Get("/index.html"); err != nil || code != 200 {
+			t.Fatalf("request %d = %d, %v", i, code, err)
+		}
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Errorf("server not clean after MaxConns with workers: %+v", res.Alarm)
+	}
+}

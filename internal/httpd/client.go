@@ -38,6 +38,47 @@ func (c *Client) Get(uri string) (int, []byte, error) {
 	return code, Body(raw), nil
 }
 
+// AppendRequest appends the GET request payload for uri to dst and
+// returns the extended slice — the allocation-free form load
+// generators use with prebuilt per-URI request buffers.
+func AppendRequest(dst []byte, uri string) []byte {
+	dst = append(dst, "GET "...)
+	dst = append(dst, uri...)
+	dst = append(dst, " HTTP/1.0\r\n\r\n"...)
+	return dst
+}
+
+// Fetch sends a prebuilt request payload (see AppendRequest) and
+// returns the status code and body length, recycling the pooled
+// response buffer back to the network. It is the zero-allocation
+// client path: benchmarks that drive a server through Fetch measure
+// the server, not client-side request/response garbage. Callers that
+// need the body bytes use Get or Raw instead.
+func (c *Client) Fetch(req []byte) (code, bodyLen int, err error) {
+	conn, err := c.net.Dial(c.port)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.Send(req); err != nil {
+		return 0, 0, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp == nil {
+		return 0, 0, ErrConnClosed
+	}
+	code, perr := ParseStatus(resp)
+	bodyLen = len(Body(resp))
+	simnet.PutBuffer(resp)
+	if perr != nil {
+		return 0, 0, perr
+	}
+	return code, bodyLen, nil
+}
+
 // Raw sends an arbitrary request payload and returns the raw response
 // bytes — the attacker's interface.
 func (c *Client) Raw(payload []byte) ([]byte, error) {

@@ -22,6 +22,7 @@ package httpd
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"nvariant/internal/libc"
 	"nvariant/internal/reexpress"
@@ -66,13 +67,29 @@ type Options struct {
 	// (the default) omits the UID from log output.
 	LogUIDs bool
 	// MaxConns stops the server after handling this many connections
-	// (0 = serve until the listener is closed).
+	// (0 = serve until the listener is closed). The count is kept in
+	// the kernel's shared scoreboard so concurrent worker lanes agree
+	// on one atomic total; with Workers > 1, connections already in
+	// flight on sibling lanes when the budget trips still complete, so
+	// the served total is bounded by MaxConns + Workers - 1.
 	MaxConns int
 	// WorkFactor adds synthetic per-request CPU work (checksum passes
 	// over the response body), standing in for request processing that
 	// makes the saturated workload compute-bound as on the paper's
 	// testbed.
 	WorkFactor int
+	// Workers is the prefork worker-lane count: after startup the
+	// server preforks Workers copies of the request loop over the
+	// shared listener, like prefork Apache — the paper's actual
+	// testbed server — so the group serves Workers connections
+	// concurrently. 0 or 1 is the serial server.
+	Workers int
+	// ServiceTime simulates per-request blocking service work (backing
+	// store reads, upstream calls): each request handler blocks this
+	// long, occupying only its own worker lane. It is the request-cost
+	// component prefork lanes overlap even on one CPU, where
+	// WorkFactor models the component they cannot beyond GOMAXPROCS.
+	ServiceTime time.Duration
 }
 
 // DefaultOptions returns the stock server options.
@@ -81,13 +98,26 @@ func DefaultOptions() Options {
 }
 
 // Server is the httpd program. Create per-variant instances with New
-// or BuildVariants.
+// or BuildVariants. A Server value runs one group at a time: its boot
+// block carries startup state to the variant's worker lanes.
 type Server struct {
 	opts   Options
 	consts Consts
+
+	// boot is the startup state worker lanes inherit — the analogue of
+	// the memory image a prefork worker receives from fork(). It is
+	// written by the primary lane before Prefork and read by worker
+	// lanes after; the Prefork rendezvous orders the two.
+	boot struct {
+		cfg   ServerConfig
+		logFD int
+		lfd   int
+		uid   vos.UID
+	}
 }
 
 var _ sys.Program = (*Server)(nil)
+var _ sys.WorkerProgram = (*Server)(nil)
 
 // New builds a server program with the given constants. For an
 // untransformed server (variant 0 or single-variant configurations)
@@ -236,21 +266,7 @@ func (s *Server) serve(ctx *sys.Context) error {
 	}
 
 	// --- The vulnerable data layout -----------------------------------
-	// The request parse buffer sits directly below the worker-UID
-	// variable; the guard region keeps oversized payloads mapped so
-	// corruption, not a crash, is the attack outcome.
-	st.reqBuf, err = ctx.Mem.Alloc(ReqBufSize)
-	if err != nil {
-		return err
-	}
-	st.uidAddr, err = ctx.Mem.Alloc(word.Size)
-	if err != nil {
-		return err
-	}
-	if _, err := ctx.Mem.Alloc(guardSize); err != nil {
-		return err
-	}
-	if err := ctx.Mem.WriteWord(st.uidAddr, pw.UID); err != nil {
+	if err := s.mapRequestState(st, pw.UID); err != nil {
 		return err
 	}
 
@@ -266,7 +282,61 @@ func (s *Server) serve(ctx *sys.Context) error {
 		return err
 	}
 
-	// --- Request loop --------------------------------------------------
+	// --- Prefork -------------------------------------------------------
+	// Publish the startup state for the worker lanes, then fork them;
+	// the primary lane continues as worker 0 over the same listener.
+	s.boot.cfg = st.cfg
+	s.boot.logFD = st.logFD
+	s.boot.lfd = lfd
+	s.boot.uid = pw.UID
+	if w := s.opts.Workers; w > 1 {
+		if _, err := ctx.Prefork(w); err != nil {
+			return err
+		}
+	}
+
+	return s.requestLoop(st, lfd)
+}
+
+// RunWorker implements sys.WorkerProgram: one prefork worker lane's
+// request loop, with its own copy of the vulnerable data layout and
+// its own parse/body/resp state in a fresh per-lane address space.
+func (s *Server) RunWorker(ctx *sys.Context, worker int) error {
+	st := &state{ctx: ctx, cfg: s.boot.cfg, logFD: s.boot.logFD}
+	if err := s.mapRequestState(st, s.boot.uid); err != nil {
+		return err
+	}
+	return s.requestLoop(st, s.boot.lfd)
+}
+
+// mapRequestState lays out the per-worker request-handling memory: the
+// request parse buffer sits directly below the worker-UID variable,
+// and the guard region keeps oversized payloads mapped so corruption,
+// not a crash, is the attack outcome. Every worker lane carries its
+// own copy of the layout — an overflow corrupts the lane it lands on.
+func (s *Server) mapRequestState(st *state, uid vos.UID) error {
+	ctx := st.ctx
+	var err error
+	st.reqBuf, err = ctx.Mem.Alloc(ReqBufSize)
+	if err != nil {
+		return err
+	}
+	st.uidAddr, err = ctx.Mem.Alloc(word.Size)
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.Mem.Alloc(guardSize); err != nil {
+		return err
+	}
+	return ctx.Mem.WriteWord(st.uidAddr, uid)
+}
+
+// requestLoop accepts and serves connections until the listener
+// closes, an in-band stop request arrives, or the served-connection
+// budget is spent. Concurrent worker lanes run this loop over the
+// shared listener fd.
+func (s *Server) requestLoop(st *state, lfd int) error {
+	ctx := st.ctx
 	conns := 0
 	for {
 		cfd, err := ctx.Accept(lfd)
@@ -278,19 +348,42 @@ func (s *Server) serve(ctx *sys.Context) error {
 			return err
 		}
 		if stop {
+			// In-band shutdown: close the shared listener so sibling
+			// worker lanes stop accepting too (a lane may already have
+			// closed it — ignore the errno).
+			_ = ctx.Close(lfd)
 			break
 		}
 		if served {
 			conns++
-		}
-		if s.opts.MaxConns > 0 && conns >= s.opts.MaxConns {
-			break
+			spent, err := s.connBudgetSpent(ctx)
+			if err != nil {
+				return err
+			}
+			if spent {
+				_ = ctx.Close(lfd)
+				break
+			}
 		}
 	}
-	if err := st.logf("httpd shutting down after %d connections", conns); err != nil {
-		return err
+	return st.logf("httpd shutting down after %d connections", conns)
+}
+
+// connBudgetSpent counts one served connection against MaxConns. The
+// total lives in the kernel's shared scoreboard: the fetch-add is
+// atomic group-wide and its result is replicated to every variant of
+// the lane, so concurrent lanes neither race the count nor diverge on
+// the shutdown decision (a per-lane counter in variant memory would do
+// both once Workers > 1).
+func (s *Server) connBudgetSpent(ctx *sys.Context) (bool, error) {
+	if s.opts.MaxConns <= 0 {
+		return false, nil
 	}
-	return nil
+	total, err := ctx.ScoreAdd(1)
+	if err != nil {
+		return false, err
+	}
+	return int(total) >= s.opts.MaxConns, nil
 }
 
 // ShutdownURI stops the server when requested: the harness's in-band
@@ -365,6 +458,13 @@ func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
 	}
 
 	s.burnWork(st, body)
+	if s.opts.ServiceTime > 0 {
+		// Simulated blocking service work, performed redundantly by
+		// every variant (like burnWork): the variants of this lane
+		// block in parallel, so the lane is occupied for ServiceTime
+		// while sibling lanes keep serving.
+		time.Sleep(s.opts.ServiceTime)
+	}
 
 	st.resp = AppendResponse(st.resp[:0], code, ContentTypeFor(req.URI), body)
 	return true, false, ctx.SendBytes(cfd, st.resp)

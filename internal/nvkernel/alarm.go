@@ -63,10 +63,14 @@ type Alarm struct {
 	// Syscall names the rendezvous at which the divergence was seen
 	// (its String is "unknown" for timeouts before arrival).
 	Syscall string
-	// Seq is the rendezvous sequence number.
+	// Seq is the rendezvous sequence number within the worker lane.
 	Seq int
 	// Variant is the offending variant when identifiable, else -1.
 	Variant int
+	// Worker is the worker lane the divergence was seen in (0 for the
+	// primary lane / serial groups). The alarm still kills the whole
+	// group; Worker records where the corruption surfaced.
+	Worker int
 	// Detail is a human-readable description.
 	Detail string
 }
@@ -74,6 +78,6 @@ type Alarm struct {
 // Error renders the alarm; Alarm implements error so kernel internals
 // can propagate it, but it is reported via Result, not returned.
 func (a *Alarm) Error() string {
-	return fmt.Sprintf("nvariant alarm [%s] at syscall %s (seq %d, variant %d): %s",
-		a.Reason, a.Syscall, a.Seq, a.Variant, a.Detail)
+	return fmt.Sprintf("nvariant alarm [%s] at syscall %s (seq %d, worker %d, variant %d): %s",
+		a.Reason, a.Syscall, a.Seq, a.Worker, a.Variant, a.Detail)
 }

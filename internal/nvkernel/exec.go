@@ -23,7 +23,9 @@ const (
 // fileEntry is one synchronized slot of the per-variant file tables:
 // slot k of variant i's table corresponds to slot k of variant j's
 // (§3.4). For shared files all variants reference the same open file
-// description; for unshared files each variant has its own.
+// description; for unshared files each variant has its own. The table
+// is group-wide: every worker lane sees the same slots, exactly as
+// prefork workers inherit one descriptor table's numbering.
 type fileEntry struct {
 	kind     entryKind
 	shared   bool
@@ -34,7 +36,8 @@ type fileEntry struct {
 
 const fdBase = 3 // 0,1,2 are stdin/stdout/stderr
 
-// slotFor returns the table slot for fd, or an error.
+// slotFor returns the table slot for fd, or an error. Caller holds
+// s.mu.
 func (s *system) slotFor(fd word.Word) (int, error) {
 	idx := int(fd) - fdBase
 	if idx < 0 || idx >= len(s.files) || s.files[idx].kind == kindFree {
@@ -43,7 +46,10 @@ func (s *system) slotFor(fd word.Word) (int, error) {
 	return idx, nil
 }
 
-// allocSlot finds or creates a free slot and returns its index.
+// allocSlot finds or creates a free slot and returns its index. A
+// recycled slot keeps its files slice capacity so the per-open
+// description vector costs nothing in steady state (the per-request
+// document open reuses one slot's storage forever). Caller holds s.mu.
 func (s *system) allocSlot() int {
 	for i := range s.files {
 		if s.files[i].kind == kindFree {
@@ -54,60 +60,90 @@ func (s *system) allocSlot() int {
 	return len(s.files) - 1
 }
 
+// slotFiles returns the slot's reusable description vector resized to
+// n entries. Caller holds s.mu and owns the slot (kindFree).
+func (s *system) slotFiles(idx, n int) []*vos.OpenFile {
+	files := s.files[idx].files
+	if cap(files) < n {
+		files = make([]*vos.OpenFile, n)
+	}
+	return files[:n]
+}
+
 // execute performs the (already equivalence-checked) syscall. canon is
-// the canonical argument vector. It returns true when the monitor loop
-// should stop (exit or alarm).
-func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*callMsg, seq int) bool {
+// the canonical argument vector. It returns true when the lane's
+// monitor loop should stop (exit, alarm, or group kill).
+func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*callMsg, seq int) bool {
+	s := l.sys
 	switch num {
 	case sys.Exit:
 		// canonicalArgs already guaranteed equal statuses; a status
 		// mismatch therefore surfaced as ReasonArgDivergence. Record
-		// the clean exit and release everyone.
-		s.exited = true
-		s.status = canon[0]
-		s.closeAll()
+		// the lane's clean exit; the group's descriptors are released
+		// when the last lane leaves (a worker exiting early must not
+		// close the listener under its siblings).
+		s.mu.Lock()
+		if !l.exited {
+			l.exited = true
+			s.exitedLanes++
+			if l.id == 0 {
+				s.status = canon[0]
+			}
+			if s.exitedLanes == len(s.lanes) {
+				s.closeAllLocked()
+			}
+		}
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{Val: canon[0]})
 		return true
 
 	case sys.Open:
-		return s.execOpen(canon, msgs, seq, spec)
+		return l.execOpen(canon, msgs, seq, spec)
 
 	case sys.CloseFD:
+		s.mu.Lock()
 		idx, err := s.slotFor(canon[0])
 		if err != nil {
-			s.replyErrno(msgs, err)
+			s.mu.Unlock()
+			replyErrno(msgs, err)
 			return false
 		}
-		s.closeSlot(idx)
+		s.closeSlotLocked(idx)
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{})
 		return false
 
 	case sys.Read:
-		return s.execRead(canon, msgs, seq, spec)
+		return l.execRead(canon, msgs, seq, spec)
 
 	case sys.Write:
-		return s.execWrite(canon, msgs, seq, spec)
+		return l.execWrite(canon, msgs, seq, spec)
 
 	case sys.Stat:
+		s.mu.Lock()
 		info, err := s.world.FS.Stat(string(msgs[0].call.Data), s.cred)
+		s.mu.Unlock()
 		if err != nil {
-			s.replyErrno(msgs, err)
+			replyErrno(msgs, err)
 			return false
 		}
 		replyAll(msgs, sys.Reply{Val: word.Word(uint32(info.Size))})
 		return false
 
 	case sys.Getuid, sys.Geteuid, sys.Getgid, sys.Getegid:
+		s.mu.Lock()
+		cred := s.cred
+		s.mu.Unlock()
 		var real word.Word
 		switch num {
 		case sys.Getuid:
-			real = s.cred.RUID
+			real = cred.RUID
 		case sys.Geteuid:
-			real = s.cred.EUID
+			real = cred.EUID
 		case sys.Getgid:
-			real = s.cred.RGID
+			real = cred.RGID
 		default:
-			real = s.cred.EGID
+			real = cred.EGID
 		}
 		// Input class: the trusted result is reexpressed per variant
 		// (§3.5: "giving each variant its own varied UID value").
@@ -117,7 +153,7 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 		for i, m := range msgs {
 			rep, err := s.cfg.UIDFuncs[i].Apply(real)
 			if err != nil {
-				s.raise(&Alarm{
+				l.raise(&Alarm{
 					Reason: ReasonUIDDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
 					Detail: fmt.Sprintf("cannot reexpress %s: %v", real.Decimal(), err),
 				}, msgs[i:])
@@ -128,6 +164,7 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 		return false
 
 	case sys.Setuid, sys.Seteuid, sys.Setreuid, sys.Setgid, sys.Setegid:
+		s.mu.Lock()
 		cred := s.cred
 		var err error
 		switch num {
@@ -142,50 +179,75 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 		default:
 			err = cred.Setegid(canon[0])
 		}
+		if err == nil {
+			s.cred = cred
+		}
+		s.mu.Unlock()
 		if err != nil {
-			s.replyErrno(msgs, err)
+			replyErrno(msgs, err)
 			return false
 		}
-		s.cred = cred
 		replyAll(msgs, sys.Reply{})
 		return false
 
 	case sys.Listen:
-		l, err := s.net.Listen(uint16(canon[0]))
+		// net.Listen is internally synchronized; only the slot install
+		// needs the table lock.
+		listener, err := s.net.Listen(uint16(canon[0]))
 		if err != nil {
-			s.replyErrno(msgs, vos.ErrInval)
+			replyErrno(msgs, vos.ErrInval)
 			return false
 		}
+		s.mu.Lock()
 		idx := s.allocSlot()
-		s.files[idx] = fileEntry{kind: kindListener, shared: true, listener: l}
+		s.files[idx] = fileEntry{kind: kindListener, shared: true, listener: listener, files: s.files[idx].files}
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
 		return false
 
 	case sys.Accept:
+		s.mu.Lock()
 		idx, err := s.slotFor(canon[0])
 		if err != nil || s.files[idx].kind != kindListener {
-			s.replyErrno(msgs, vos.ErrBadFD)
+			s.mu.Unlock()
+			replyErrno(msgs, vos.ErrBadFD)
 			return false
 		}
-		conn, err := s.files[idx].listener.Accept()
+		listener := s.files[idx].listener
+		s.mu.Unlock()
+		// The natural serialization point: concurrent lanes contend on
+		// the shared listener here, exactly like prefork Apache workers
+		// in accept(2) — each connection goes to exactly one lane.
+		conn, err := listener.Accept()
 		if err != nil {
-			s.replyErrno(msgs, vos.ErrBadFD)
-			return false
+			return l.replyFail(msgs, vos.ErrBadFD)
 		}
+		s.mu.Lock()
 		cidx := s.allocSlot()
-		s.files[cidx] = fileEntry{kind: kindConn, shared: true, conn: conn}
+		s.files[cidx] = fileEntry{kind: kindConn, shared: true, conn: conn, files: s.files[cidx].files}
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{Val: word.Word(cidx + fdBase)})
 		return false
 
 	case sys.Recv:
-		return s.execRecv(canon, msgs, seq, spec)
+		return l.execRecv(canon, msgs, seq, spec)
 
 	case sys.Send:
-		return s.execSend(canon, msgs, seq, spec)
+		return l.execSend(canon, msgs, seq, spec)
 
 	case sys.Time:
-		s.vtime++
-		replyAll(msgs, sys.Reply{Val: s.vtime})
+		replyAll(msgs, sys.Reply{Val: word.Word(s.vtime.Add(1))})
+		return false
+
+	case sys.Prefork:
+		return l.execPrefork(canon, msgs)
+
+	case sys.ScoreAdd:
+		// Performed once per lane rendezvous: the lane's variants all
+		// observe the same post-add total, so shared-count decisions
+		// cannot diverge within a lane.
+		total := s.score.Add(int64(int32(canon[0])))
+		replyAll(msgs, sys.Reply{Val: word.Word(uint32(total))})
 		return false
 
 	case sys.UIDValue:
@@ -227,7 +289,7 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 		return false
 
 	default:
-		s.raise(&Alarm{
+		l.raise(&Alarm{
 			Reason: ReasonSyscallMismatch, Syscall: spec.Name, Seq: seq, Variant: 0,
 			Detail: fmt.Sprintf("unimplemented syscall %s", spec.Name),
 		}, msgs)
@@ -235,44 +297,86 @@ func (s *system) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*
 	}
 }
 
+// execPrefork widens the group to canon[0] worker lanes. Only the
+// primary lane may prefork, exactly once, and every variant program
+// must implement sys.WorkerProgram — refusing beats silently serving
+// serially while the deployment believes it preforked.
+func (l *lane) execPrefork(canon []word.Word, msgs []*callMsg) bool {
+	s := l.sys
+	w := int(canon[0])
+	if l.id != 0 || w < 1 {
+		replyErrno(msgs, vos.ErrInval)
+		return false
+	}
+	workers := make([]sys.WorkerProgram, s.n)
+	for i, p := range s.progs {
+		wp, ok := p.(sys.WorkerProgram)
+		if !ok {
+			replyErrno(msgs, vos.ErrInval)
+			return false
+		}
+		workers[i] = wp
+	}
+	s.mu.Lock()
+	already := s.preforked
+	s.preforked = true
+	s.mu.Unlock()
+	if already {
+		replyErrno(msgs, vos.ErrInval)
+		return false
+	}
+	for id := 1; id < w; id++ {
+		s.spawnWorkerLane(id, workers)
+	}
+	replyAll(msgs, sys.Reply{Val: canon[0]})
+	return false
+}
+
 // execOpen opens a file, honouring the unshared-file mechanism: when
 // the path is marked unshared, each variant opens its own diversified
 // version and the shared bit of the slot is cleared (§3.4).
-func (s *system) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+func (l *lane) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	s := l.sys
 	path := string(msgs[0].call.Data)
 	flags := vos.OpenFlag(canon[0])
 	perm := vos.Mode(canon[1])
 
+	s.mu.Lock()
 	if s.cfg.Unshared[path] && s.n > 1 {
-		files := make([]*vos.OpenFile, s.n)
+		idx := s.allocSlot()
+		files := s.slotFiles(idx, s.n)
 		for i := 0; i < s.n; i++ {
 			f, err := s.world.FS.Open(UnsharedPath(path, i), flags, perm, s.cred)
 			if err != nil {
 				for j := 0; j < i; j++ {
 					_ = files[j].Close()
+					files[j] = nil
 				}
-				s.replyErrno(msgs, err)
+				s.mu.Unlock()
+				replyErrno(msgs, err)
 				return false
 			}
 			files[i] = f
 		}
-		idx := s.allocSlot()
 		s.files[idx] = fileEntry{kind: kindFile, shared: false, files: files}
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
 		return false
 	}
 
 	f, err := s.world.FS.Open(path, flags, perm, s.cred)
 	if err != nil {
-		s.replyErrno(msgs, err)
+		s.mu.Unlock()
+		replyErrno(msgs, err)
 		return false
 	}
-	files := make([]*vos.OpenFile, s.n)
+	idx := s.allocSlot()
+	files := s.slotFiles(idx, s.n)
 	for i := range files {
 		files[i] = f
 	}
-	idx := s.allocSlot()
 	s.files[idx] = fileEntry{kind: kindFile, shared: true, files: files}
+	s.mu.Unlock()
 	replyAll(msgs, sys.Reply{Val: word.Word(idx + fdBase)})
 	return false
 }
@@ -280,30 +384,38 @@ func (s *system) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 // execRead implements the input class for files: shared files are read
 // once with the result replicated into every variant's memory;
 // unshared files are read per variant from the variant's own file.
-func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+// File I/O happens under the kernel lock (the filesystem is
+// single-threaded by contract); the copies into lane-local variant
+// memory do not.
+func (l *lane) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	s := l.sys
+	s.mu.Lock()
 	idx, err := s.slotFor(canon[0])
 	if err != nil {
-		s.replyErrno(msgs, err)
+		s.mu.Unlock()
+		replyErrno(msgs, err)
 		return false
 	}
-	entry := &s.files[idx]
+	entry := s.files[idx]
 	if entry.kind != kindFile {
-		s.replyErrno(msgs, vos.ErrBadFD)
+		s.mu.Unlock()
+		replyErrno(msgs, vos.ErrBadFD)
 		return false
 	}
 	n := uint32(canon[2])
 
 	if entry.shared {
-		buf := s.ioScratch(n)
+		buf := l.ioScratch(n)
 		cnt, err := entry.files[0].Read(buf)
+		s.mu.Unlock()
 		if err != nil {
-			s.replyErrno(msgs, err)
+			replyErrno(msgs, err)
 			return false
 		}
 		for i, m := range msgs {
 			addr := m.call.Args[1]
-			if err := s.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
-				s.raise(&Alarm{
+			if err := l.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
+				l.raise(&Alarm{
 					Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 					Detail: fmt.Sprintf("copy to variant memory: %v", err),
 				}, msgs)
@@ -321,15 +433,17 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 	// before i already received their success reply, and a second
 	// send into a reused mailbox would corrupt their next call.
 	for i, m := range msgs {
-		buf := s.ioScratch(uint32(m.call.Args[2]))
+		buf := l.ioScratch(uint32(m.call.Args[2]))
 		cnt, err := entry.files[i].Read(buf)
 		if err != nil {
-			s.replyErrno(msgs[i:], err)
+			s.mu.Unlock()
+			replyErrno(msgs[i:], err)
 			return false
 		}
 		addr := m.call.Args[1]
-		if err := s.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
-			s.raise(&Alarm{
+		if err := l.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
+			s.mu.Unlock()
+			l.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy to variant memory: %v", err),
 			}, msgs[i:])
@@ -337,55 +451,57 @@ func (s *system) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 		}
 		m.reply <- sys.Reply{Val: word.Word(cnt)}
 	}
+	s.mu.Unlock()
 	return false
 }
 
-// ioScratch returns the reusable staging buffer sized to n bytes; the
-// result is valid until the next use (one rendezvous at most).
-func (s *system) ioScratch(n uint32) []byte {
-	if uint32(cap(s.ioBuf)) < n {
-		s.ioBuf = make([]byte, n)
+// ioScratch returns the lane's reusable staging buffer sized to n
+// bytes; the result is valid until the next use (one rendezvous at
+// most).
+func (l *lane) ioScratch(n uint32) []byte {
+	if uint32(cap(l.ioBuf)) < n {
+		l.ioBuf = make([]byte, n)
 	}
-	return s.ioBuf[:n]
+	return l.ioBuf[:n]
 }
 
 // cmpScratch is ioScratch's sibling for cross-variant comparison.
-func (s *system) cmpScratch(n uint32) []byte {
-	if uint32(cap(s.cmpBuf)) < n {
-		s.cmpBuf = make([]byte, n)
+func (l *lane) cmpScratch(n uint32) []byte {
+	if uint32(cap(l.cmpBuf)) < n {
+		l.cmpBuf = make([]byte, n)
 	}
-	return s.cmpBuf[:n]
+	return l.cmpBuf[:n]
 }
 
 // gatherPayloads reads each variant's output payload from its memory
 // and checks byte equality (output equivalence, §3.1). A memory fault
 // is a variant fault; divergent payloads are a data-divergence alarm
 // (this is how the Apache UID-in-log-message pitfall of §4 manifests).
-// The returned slice is pooled scratch, borrowed until the next
+// The returned slice is pooled lane scratch, borrowed until the next
 // rendezvous — every consumer (stdout capture, file write, network
-// send) copies before the monitor loops again.
-func (s *system) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) ([]byte, bool) {
+// send) copies before the lane loops again. Lane-local: no lock.
+func (l *lane) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) ([]byte, bool) {
 	n := uint32(canon[2])
-	first := s.ioScratch(n)
-	if err := s.variants[0].mem.ReadBytesInto(msgs[0].call.Args[1], first); err != nil {
-		s.raise(&Alarm{
+	first := l.ioScratch(n)
+	if err := l.variants[0].mem.ReadBytesInto(msgs[0].call.Args[1], first); err != nil {
+		l.raise(&Alarm{
 			Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: 0,
 			Detail: fmt.Sprintf("copy from variant memory: %v", err),
 		}, msgs)
 		return nil, false
 	}
-	if s.n > 1 {
-		other := s.cmpScratch(n)
-		for i := 1; i < s.n; i++ {
-			if err := s.variants[i].mem.ReadBytesInto(msgs[i].call.Args[1], other); err != nil {
-				s.raise(&Alarm{
+	if len(l.variants) > 1 {
+		other := l.cmpScratch(n)
+		for i := 1; i < len(l.variants); i++ {
+			if err := l.variants[i].mem.ReadBytesInto(msgs[i].call.Args[1], other); err != nil {
+				l.raise(&Alarm{
 					Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 					Detail: fmt.Sprintf("copy from variant memory: %v", err),
 				}, msgs)
 				return nil, false
 			}
 			if !bytes.Equal(other, first) {
-				s.raise(&Alarm{
+				l.raise(&Alarm{
 					Reason: ReasonDataDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
 					Detail: fmt.Sprintf("output payload differs from variant 0 (%d bytes)", n),
 				}, msgs)
@@ -399,41 +515,49 @@ func (s *system) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spe
 // execWrite implements the output class: payloads are cross-checked
 // and the write performed once. Writes to unshared files are performed
 // per variant without cross-checking (each variant owns its file).
-func (s *system) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+func (l *lane) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	s := l.sys
 	fd := canon[0]
 	if fd == sys.FDStdout || fd == sys.FDStderr {
-		data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+		data, ok := l.gatherPayloads(canon, msgs, seq, spec)
 		if !ok {
 			return true
 		}
+		s.mu.Lock()
 		if fd == sys.FDStdout {
 			s.stdout = append(s.stdout, data...)
 		} else {
 			s.stderr = append(s.stderr, data...)
 		}
+		s.mu.Unlock()
 		replyAll(msgs, sys.Reply{Val: word.Word(len(data))})
 		return false
 	}
 
+	s.mu.Lock()
 	idx, err := s.slotFor(fd)
 	if err != nil {
-		s.replyErrno(msgs, err)
+		s.mu.Unlock()
+		replyErrno(msgs, err)
 		return false
 	}
-	entry := &s.files[idx]
+	entry := s.files[idx]
+	s.mu.Unlock()
 	if entry.kind != kindFile {
-		s.replyErrno(msgs, vos.ErrBadFD)
+		replyErrno(msgs, vos.ErrBadFD)
 		return false
 	}
 
 	if entry.shared {
-		data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+		data, ok := l.gatherPayloads(canon, msgs, seq, spec)
 		if !ok {
 			return true
 		}
+		s.mu.Lock()
 		cnt, err := entry.files[0].Write(data)
+		s.mu.Unlock()
 		if err != nil {
-			s.replyErrno(msgs, err)
+			replyErrno(msgs, err)
 			return false
 		}
 		replyAll(msgs, sys.Reply{Val: word.Word(cnt)})
@@ -442,10 +566,12 @@ func (s *system) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys
 
 	// Per-variant writes to unshared files; like the unshared read
 	// path, failures answer only the not-yet-replied tail msgs[i:].
+	s.mu.Lock()
 	for i, m := range msgs {
-		b := s.ioScratch(uint32(m.call.Args[2]))
-		if err := s.variants[i].mem.ReadBytesInto(m.call.Args[1], b); err != nil {
-			s.raise(&Alarm{
+		b := l.ioScratch(uint32(m.call.Args[2]))
+		if err := l.variants[i].mem.ReadBytesInto(m.call.Args[1], b); err != nil {
+			s.mu.Unlock()
+			l.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy from variant memory: %v", err),
 			}, msgs[i:])
@@ -453,26 +579,33 @@ func (s *system) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys
 		}
 		cnt, err := entry.files[i].Write(b)
 		if err != nil {
-			s.replyErrno(msgs[i:], err)
+			s.mu.Unlock()
+			replyErrno(msgs[i:], err)
 			return false
 		}
 		m.reply <- sys.Reply{Val: word.Word(cnt)}
 	}
+	s.mu.Unlock()
 	return false
 }
 
 // execRecv performs the network input once and replicates the message
-// into every variant's memory.
-func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+// into every variant's memory. The blocking Recv happens with no lock
+// held: a sibling lane may be accepting or receiving concurrently.
+func (l *lane) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	s := l.sys
+	s.mu.Lock()
 	idx, err := s.slotFor(canon[0])
 	if err != nil || s.files[idx].kind != kindConn {
-		s.replyErrno(msgs, vos.ErrBadFD)
+		s.mu.Unlock()
+		replyErrno(msgs, vos.ErrBadFD)
 		return false
 	}
-	data, err := s.files[idx].conn.Recv()
+	conn := s.files[idx].conn
+	s.mu.Unlock()
+	data, err := conn.Recv()
 	if err != nil {
-		s.replyErrno(msgs, vos.ErrBadFD)
-		return false
+		return l.replyFail(msgs, vos.ErrBadFD)
 	}
 	if data == nil {
 		replyAll(msgs, sys.Reply{Val: 0}) // end of stream
@@ -492,9 +625,9 @@ func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 	// payload is replicated into every variant's memory it goes back
 	// to the network's buffer pool.
 	for i, m := range msgs {
-		if err := s.variants[i].mem.WriteBytes(m.call.Args[1], data); err != nil {
+		if err := l.variants[i].mem.WriteBytes(m.call.Args[1], data); err != nil {
 			simnet.PutBuffer(data)
-			s.raise(&Alarm{
+			l.raise(&Alarm{
 				Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
 				Detail: fmt.Sprintf("copy to variant memory: %v", err),
 			}, msgs)
@@ -508,26 +641,32 @@ func (s *system) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.
 }
 
 // execSend cross-checks payloads and transmits once.
-func (s *system) execSend(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+func (l *lane) execSend(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
+	s := l.sys
+	s.mu.Lock()
 	idx, err := s.slotFor(canon[0])
 	if err != nil || s.files[idx].kind != kindConn {
-		s.replyErrno(msgs, vos.ErrBadFD)
+		s.mu.Unlock()
+		replyErrno(msgs, vos.ErrBadFD)
 		return false
 	}
-	data, ok := s.gatherPayloads(canon, msgs, seq, spec)
+	conn := s.files[idx].conn
+	s.mu.Unlock()
+	data, ok := l.gatherPayloads(canon, msgs, seq, spec)
 	if !ok {
 		return true
 	}
-	if err := s.files[idx].conn.Send(data); err != nil {
-		s.replyErrno(msgs, vos.ErrBadFD)
-		return false
+	if err := conn.Send(data); err != nil {
+		return l.replyFail(msgs, vos.ErrBadFD)
 	}
 	replyAll(msgs, sys.Reply{Val: word.Word(len(data))})
 	return false
 }
 
-// closeSlot releases one descriptor slot.
-func (s *system) closeSlot(idx int) {
+// closeSlotLocked releases one descriptor slot, retaining the slot's
+// description-vector storage for reuse by the next open. Caller holds
+// s.mu.
+func (s *system) closeSlotLocked(idx int) {
 	entry := &s.files[idx]
 	switch entry.kind {
 	case kindFile:
@@ -543,14 +682,19 @@ func (s *system) closeSlot(idx int) {
 	case kindConn:
 		_ = entry.conn.Close()
 	}
-	s.files[idx] = fileEntry{}
+	files := entry.files
+	for i := range files {
+		files[i] = nil
+	}
+	s.files[idx] = fileEntry{files: files[:0]}
 }
 
-// closeAll releases every descriptor (on exit).
-func (s *system) closeAll() {
+// closeAllLocked releases every descriptor (on exit or kill). Caller
+// holds s.mu.
+func (s *system) closeAllLocked() {
 	for i := range s.files {
 		if s.files[i].kind != kindFree {
-			s.closeSlot(i)
+			s.closeSlotLocked(i)
 		}
 	}
 }

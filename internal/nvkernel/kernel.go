@@ -9,16 +9,24 @@
 // Table 2. Any divergence raises an Alarm, which in the paper's threat
 // model is a detected attack.
 //
-// The paper's implementation is a modified Linux kernel; this is a
-// user-space simulation of exactly the syscall-boundary contract the
-// paper states, with variants as goroutines over simulated address
-// spaces (see DESIGN.md, substitutions table).
+// The paper's implementation is a modified Linux kernel monitoring a
+// prefork Apache *process group*; this is a user-space simulation of
+// exactly the syscall-boundary contract the paper states, with
+// variants as goroutines over simulated address spaces (see DESIGN.md,
+// substitutions table). A group may hold W ≥ 1 worker lanes (the
+// prefork workers): each lane is an independent N-variant rendezvous
+// with its own monitor goroutine and per-lane scratch, while the
+// descriptor table, credentials, virtual time, captured output and the
+// alarm are group-wide — and an alarm in any lane kills the entire
+// group, preserving the paper's detection contract.
 package nvkernel
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvariant/internal/reexpress"
@@ -31,9 +39,10 @@ import (
 
 // Result is the outcome of running an N-variant process group.
 type Result struct {
-	// Clean reports an orderly exit with no alarm.
+	// Clean reports an orderly exit with no alarm (every worker lane
+	// exited).
 	Clean bool
-	// Status is the exit status (valid when Clean).
+	// Status is the primary lane's exit status (valid when Clean).
 	Status word.Word
 	// Alarm is non-nil when the monitor detected divergence.
 	Alarm *Alarm
@@ -42,10 +51,13 @@ type Result struct {
 	Stdout []byte
 	// Stderr captures bytes written to fd 2.
 	Stderr []byte
-	// Rendezvous counts monitored syscall rendezvous.
+	// Rendezvous counts monitored syscall rendezvous across all lanes.
 	Rendezvous int
+	// Workers is the number of worker lanes the group ran (1 unless the
+	// program preforked).
+	Workers int
 	// VariantErrs holds each variant's terminal error (nil for clean
-	// returns and monitor kills).
+	// returns and monitor kills), lane-major: lane 0's variants first.
 	VariantErrs []error
 }
 
@@ -58,11 +70,11 @@ type callMsg struct {
 	reply chan sys.Reply
 }
 
-// variantRT is the runtime state of one variant. Each variant owns one
-// preallocated mailbox (msg plus its long-lived buffered reply
-// channel), reused for every syscall: a variant has at most one call
-// in flight, and the monitor sends exactly one reply per received
-// message, so nothing is ever allocated per rendezvous.
+// variantRT is the runtime state of one variant of one lane. Each
+// variant owns one preallocated mailbox (msg plus its long-lived
+// buffered reply channel), reused for every syscall: a variant has at
+// most one call in flight, and its lane monitor sends exactly one reply
+// per received message, so nothing is ever allocated per rendezvous.
 type variantRT struct {
 	id    int
 	calls chan *callMsg
@@ -75,7 +87,8 @@ type variantRT struct {
 // Run executes progs (one per variant) as an N-variant process group
 // under the monitor. len(progs) is the group size: 1 reproduces the
 // paper's "unmodified kernel" baseline configurations, 2 the deployed
-// systems.
+// systems. A program that calls Context.Prefork widens the group into
+// W concurrent worker lanes (each lane runs all N variants).
 func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Option) (*Result, error) {
 	n := len(progs)
 	if n == 0 {
@@ -112,55 +125,47 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		addrBits = vmem.PartitionBits(n)
 	}
 
+	// Per-variant partition slots, computed once and reused by every
+	// lane (worker lanes get fresh address spaces with the same
+	// per-variant layout, like forked processes of the same variant).
+	parts := make([]vmem.Partition, n)
+	for i := 0; i < n; i++ {
+		parts[i] = vmem.PartitionNone
+		if cfg.AddressPartition {
+			var err error
+			parts[i], err = vmem.PartitionSlot(i, n)
+			if err != nil {
+				return nil, fmt.Errorf("nvkernel: partition variant %d of %d: %w", i, n, err)
+			}
+		}
+	}
+
 	s := &system{
 		world:    world,
 		net:      net,
 		cfg:      cfg,
 		n:        n,
+		progs:    progs,
+		parts:    parts,
 		cred:     cfg.Cred,
 		addrBits: addrBits,
+		// stop is closed when the post-run drain retires: any variant
+		// that reaches a syscall after that (e.g. a spinner that
+		// outlived the grace period) is answered Killed right here
+		// instead of parking forever on a rendezvous channel nobody
+		// reads anymore.
+		stop: make(chan struct{}),
+		// killed is closed on the first alarm: the group-wide kill
+		// fan-out that makes every sibling lane's monitor retire.
+		killed: make(chan struct{}),
 	}
 
-	variants := make([]*variantRT, n)
+	primary := s.newLane(0)
+	s.lanes = []*lane{primary}
 	for i := 0; i < n; i++ {
-		part := vmem.PartitionNone
-		if cfg.AddressPartition {
-			var err error
-			part, err = vmem.PartitionSlot(i, n)
-			if err != nil {
-				return nil, fmt.Errorf("nvkernel: partition variant %d of %d: %w", i, n, err)
-			}
-		}
-		variants[i] = &variantRT{
-			id:    i,
-			calls: make(chan *callMsg),
-			done:  make(chan struct{}),
-			mem:   vmem.New(part),
-		}
-		variants[i].msg.reply = make(chan sys.Reply, 1)
-	}
-	s.variants = variants
-	s.msgs = make([]*callMsg, n)
-
-	// stop is closed when the post-run drain retires: any variant that
-	// reaches a syscall after that (e.g. a spinner that outlived the
-	// grace period) is answered Killed right here instead of parking
-	// forever on a rendezvous channel nobody reads anymore.
-	stop := make(chan struct{})
-
-	for i := 0; i < n; i++ {
-		v := variants[i]
+		v := primary.variants[i]
 		prog := progs[i]
-		invoke := func(call sys.Call) sys.Reply {
-			v.msg.call = call
-			select {
-			case v.calls <- &v.msg:
-				return <-v.msg.reply
-			case <-stop:
-				return sys.Reply{Killed: true}
-			}
-		}
-		ctx := sys.NewContext(i, n, v.mem, invoke)
+		ctx := sys.NewContext(i, n, v.mem, s.invokerFor(v))
 		go func() {
 			defer close(v.done)
 			err := prog.Run(ctx)
@@ -173,8 +178,14 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		}()
 	}
 
-	s.monitor()
+	s.monitors.Add(1)
+	go func() {
+		defer s.monitors.Done()
+		primary.monitor()
+	}()
+	s.monitors.Wait()
 
+	// All lane monitors have retired, so the lane roster is final.
 	// Drain: answer any straggler syscalls with Killed until every
 	// variant goroutine has returned. A variant that spins without
 	// syscalls cannot be preempted (goroutines are not killable the
@@ -184,28 +195,32 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 	// exit when the grace period fires; a straggler that reaches a
 	// syscall after that is answered Killed by its own invoke (above),
 	// so only a variant that never syscalls again can outlive Run.
-	for _, v := range variants {
-		go func(v *variantRT) {
-			for {
-				select {
-				case m := <-v.calls:
-					m.reply <- sys.Reply{Killed: true}
-				case <-v.done:
-					return
-				case <-stop:
-					return
+	for _, l := range s.lanes {
+		for _, v := range l.variants {
+			go func(v *variantRT) {
+				for {
+					select {
+					case m := <-v.calls:
+						m.reply <- sys.Reply{Killed: true}
+					case <-v.done:
+						return
+					case <-s.stop:
+						return
+					}
 				}
-			}
-		}(v)
+			}(v)
+		}
 	}
 	allDone := make(chan struct{})
 	go func() {
 		defer close(allDone)
-		for _, v := range variants {
-			select {
-			case <-v.done:
-			case <-stop:
-				return
+		for _, l := range s.lanes {
+			for _, v := range l.variants {
+				select {
+				case <-v.done:
+				case <-s.stop:
+					return
+				}
 			}
 		}
 	}()
@@ -215,23 +230,26 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		grace.Stop()
 	case <-grace.C:
 	}
-	close(stop)
+	close(s.stop)
 
 	res := &Result{
-		Clean:       s.alarm == nil && s.exited,
+		Clean:       s.alarm == nil && s.exitedLanes == len(s.lanes),
 		Status:      s.status,
 		Alarm:       s.alarm,
 		Stdout:      s.stdout,
 		Stderr:      s.stderr,
-		Rendezvous:  s.rendezvous,
-		VariantErrs: make([]error, n),
+		Workers:     len(s.lanes),
+		VariantErrs: make([]error, 0, n*len(s.lanes)),
 	}
-	for i, v := range variants {
-		select {
-		case <-v.done:
-			res.VariantErrs[i] = v.err
-		default:
-			res.VariantErrs[i] = errStillRunning
+	for _, l := range s.lanes {
+		res.Rendezvous += l.rendezvous
+		for _, v := range l.variants {
+			select {
+			case <-v.done:
+				res.VariantErrs = append(res.VariantErrs, v.err)
+			default:
+				res.VariantErrs = append(res.VariantErrs, errStillRunning)
+			}
 		}
 	}
 	return res, nil
@@ -241,20 +259,72 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 // post-alarm grace period expired.
 var errStillRunning = errors.New("nvkernel: variant still running at shutdown")
 
-// system is the kernel state for one process group.
+// system is the group-wide kernel state shared by every worker lane.
+// Ownership map (the "Concurrency model" section of DESIGN.md):
+//
+//   - Per lane, monitor-goroutine private: the variant mailboxes and
+//     the rendezvous scratch (msgs/canon/ioBuf/cmpBuf) — never locked,
+//     which is what keeps the steady-state loop allocation- and
+//     contention-free.
+//   - Group-wide under mu: the descriptor table (with the filesystem
+//     it reaches — vos.FS is single-threaded by contract), credentials,
+//     captured stdout/stderr, the alarm slot and exit bookkeeping. mu
+//     is never held across a blocking operation: lanes look an entry
+//     up under mu, then block on the simnet object (itself
+//     thread-safe) with mu released, so Accept is the only place
+//     concurrent lanes serialize for more than a table probe — exactly
+//     prefork Apache's accept contention.
+//   - Group-wide lock-free: virtual time and the scoreboard counter
+//     (atomics), the killed channel (close-once).
 type system struct {
 	world    *vos.World
 	net      *simnet.Network
 	cfg      Config
 	n        int
-	variants []*variantRT
-
-	cred     vos.Cred
-	files    []fileEntry
-	vtime    word.Word
+	progs    []sys.Program
+	parts    []vmem.Partition
 	addrBits int
 
-	stdout, stderr []byte
+	mu          sync.Mutex
+	files       []fileEntry
+	cred        vos.Cred
+	stdout      []byte
+	stderr      []byte
+	alarm       *Alarm
+	lanes       []*lane
+	exitedLanes int
+	status      word.Word
+	preforked   bool
+
+	vtime atomic.Uint32
+	score atomic.Int64
+
+	killed   chan struct{}
+	killOnce sync.Once
+	stop     chan struct{}
+	monitors sync.WaitGroup
+}
+
+// invokerFor builds the syscall invoker of one variant.
+func (s *system) invokerFor(v *variantRT) sys.Invoker {
+	return func(call sys.Call) sys.Reply {
+		v.msg.call = call
+		select {
+		case v.calls <- &v.msg:
+			return <-v.msg.reply
+		case <-s.stop:
+			return sys.Reply{Killed: true}
+		}
+	}
+}
+
+// lane is one worker lane: an independent N-variant rendezvous with
+// its own monitor goroutine and scratch, sharing the system state.
+type lane struct {
+	sys *system
+	id  int
+
+	variants []*variantRT
 
 	// Rendezvous scratch, reused across iterations so the steady-state
 	// monitor loop allocates nothing: the arrival slice, the canonical
@@ -265,32 +335,79 @@ type system struct {
 	cmpBuf []byte // other variants' payloads during cross-checking
 
 	rendezvous int
-	alarm      *Alarm
 	exited     bool
-	status     word.Word
 }
 
-// monitor runs the rendezvous loop until exit or alarm. The rendezvous
-// deadline is amortized: the timer is armed once and checked lazily
-// against rendezvous progress when it fires, instead of being reset
-// and drained on every iteration. A stalled rendezvous is therefore
-// detected after between one and two Timeouts (never before Timeout),
-// trading alarm latency bounded by 2× for zero timer traffic on the
-// hot path.
-func (s *system) monitor() {
+// newLane allocates lane id with fresh per-variant address spaces and
+// mailboxes. The lane is not yet registered or running.
+func (s *system) newLane(id int) *lane {
+	l := &lane{sys: s, id: id}
+	l.variants = make([]*variantRT, s.n)
+	for i := 0; i < s.n; i++ {
+		l.variants[i] = &variantRT{
+			id:    i,
+			calls: make(chan *callMsg),
+			done:  make(chan struct{}),
+			mem:   vmem.New(s.parts[i]),
+		}
+		l.variants[i].msg.reply = make(chan sys.Reply, 1)
+	}
+	l.msgs = make([]*callMsg, s.n)
+	return l
+}
+
+// spawnWorkerLane starts worker lane id running the given worker
+// bodies (one per variant) with its own monitor goroutine.
+func (s *system) spawnWorkerLane(id int, workers []sys.WorkerProgram) {
+	l := s.newLane(id)
+	for i := 0; i < s.n; i++ {
+		v := l.variants[i]
+		wp := workers[i]
+		ctx := sys.NewContext(i, s.n, v.mem, s.invokerFor(v))
+		ctx.Worker = id
+		go func() {
+			defer close(v.done)
+			err := wp.RunWorker(ctx, id)
+			if err == nil && !ctx.Exited() {
+				err = ctx.Exit(0)
+			}
+			if err != nil && !errors.Is(err, sys.ErrKilled) {
+				v.err = err
+			}
+		}()
+	}
+	s.mu.Lock()
+	s.lanes = append(s.lanes, l)
+	s.mu.Unlock()
+	s.monitors.Add(1)
+	go func() {
+		defer s.monitors.Done()
+		l.monitor()
+	}()
+}
+
+// monitor runs the lane's rendezvous loop until exit, alarm, or a
+// sibling lane's kill. The rendezvous deadline is amortized: the timer
+// is armed once and checked lazily against rendezvous progress when it
+// fires, instead of being reset and drained on every iteration. A
+// stalled rendezvous is therefore detected after between one and two
+// Timeouts (never before Timeout), trading alarm latency bounded by 2×
+// for zero timer traffic on the hot path.
+func (l *lane) monitor() {
+	s := l.sys
 	timer := time.NewTimer(s.cfg.Timeout)
 	defer timer.Stop()
 	armedAt := 0 // rendezvous count when the timer was last armed
 	for {
-		for i := range s.msgs {
-			s.msgs[i] = nil
+		for i := range l.msgs {
+			l.msgs[i] = nil
 		}
-		for i, v := range s.variants {
+		for i, v := range l.variants {
 		arrival:
 			for {
 				select {
 				case m := <-v.calls:
-					s.msgs[i] = m
+					l.msgs[i] = m
 					break arrival
 				case <-v.done:
 					// A variant died without reaching the rendezvous:
@@ -299,66 +416,107 @@ func (s *system) monitor() {
 					if v.err != nil {
 						detail = v.err.Error()
 					}
-					s.raise(&Alarm{
+					l.raise(&Alarm{
 						Reason:  ReasonVariantFault,
 						Syscall: "(none)",
-						Seq:     s.rendezvous,
+						Seq:     l.rendezvous,
 						Variant: i,
 						Detail:  detail,
-					}, s.msgs)
+					}, l.msgs)
+					return
+				case <-s.killed:
+					// A sibling lane alarmed (or the group is being
+					// torn down): retire this lane, releasing the
+					// variants already gathered.
+					l.killGathered()
 					return
 				case <-timer.C:
-					if s.rendezvous != armedAt {
+					if l.rendezvous != armedAt {
 						// Progress since the last arming: re-arm for a
 						// fresh window and keep waiting.
-						armedAt = s.rendezvous
+						armedAt = l.rendezvous
 						timer.Reset(s.cfg.Timeout)
 						continue
 					}
-					s.raise(&Alarm{
+					l.raise(&Alarm{
 						Reason:  ReasonTimeout,
 						Syscall: "(none)",
-						Seq:     s.rendezvous,
+						Seq:     l.rendezvous,
 						Variant: i,
 						Detail:  fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout),
-					}, s.msgs)
+					}, l.msgs)
 					return
 				}
 			}
 		}
 
-		s.rendezvous++
-		done := s.dispatch(s.msgs)
-		if done {
+		l.rendezvous++
+		if l.dispatch(l.msgs) {
 			return
 		}
 	}
 }
 
-// raise records the alarm, kills all gathered variants, and releases
-// every descriptor the group held — as the kernel would on SIGKILL of
-// the process group. Closing connections is what a remote attacker
-// observes: the connection drops with no response.
-func (s *system) raise(a *Alarm, pending []*callMsg) {
+// killGathered answers every already-gathered arrival with Killed.
+// Variants not yet at the rendezvous are unwound by the end-of-Run
+// drain.
+func (l *lane) killGathered() {
+	for _, m := range l.msgs {
+		if m != nil {
+			m.reply <- sys.Reply{Killed: true}
+		}
+	}
+}
+
+// raise records the alarm (first alarm wins group-wide), kills the
+// gathered variants of this lane, and tears the whole group down — as
+// the paper's kernel SIGKILLs the process group: every descriptor is
+// released, which unblocks sibling lanes parked in accept/recv so
+// their monitors retire too. Closing connections is what a remote
+// attacker observes: the connection drops with no response.
+func (l *lane) raise(a *Alarm, pending []*callMsg) {
+	s := l.sys
+	a.Worker = l.id
+	s.mu.Lock()
 	if s.alarm == nil {
 		s.alarm = a
 	}
+	s.mu.Unlock()
 	for _, m := range pending {
 		if m != nil {
 			m.reply <- sys.Reply{Killed: true}
 		}
 	}
-	s.closeAll()
+	s.kill()
+}
+
+// kill signals the group-wide teardown and releases every descriptor.
+func (s *system) kill() {
+	s.killOnce.Do(func() { close(s.killed) })
+	s.mu.Lock()
+	s.closeAllLocked()
+	s.mu.Unlock()
+}
+
+// killedNow reports whether the group kill has been signalled.
+func (s *system) killedNow() bool {
+	select {
+	case <-s.killed:
+		return true
+	default:
+		return false
+	}
 }
 
 // dispatch checks rendezvous equivalence and executes the syscall.
-// It returns true when the monitor loop should stop.
-func (s *system) dispatch(msgs []*callMsg) bool {
-	seq := s.rendezvous - 1
+// It returns true when the lane's monitor loop should stop.
+func (l *lane) dispatch(msgs []*callMsg) bool {
+	s := l.sys
+	seq := l.rendezvous - 1
 	num := msgs[0].call.Num
 	spec, ok := sys.SpecFor(num)
 	if !ok {
-		s.raise(&Alarm{
+		l.raise(&Alarm{
 			Reason: ReasonSyscallMismatch, Syscall: "unknown", Seq: seq, Variant: 0,
 			Detail: fmt.Sprintf("unknown syscall number %d", num),
 		}, msgs)
@@ -368,7 +526,7 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 	// All variants must make the same system call (§3.1).
 	for i := 1; i < s.n; i++ {
 		if msgs[i].call.Num != num {
-			s.raise(&Alarm{
+			l.raise(&Alarm{
 				Reason:  ReasonSyscallMismatch,
 				Syscall: spec.Name,
 				Seq:     seq,
@@ -386,16 +544,19 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 	// descriptor is required to agree; everything else is handled
 	// per variant by the executor.
 	if num == sys.Read || num == sys.Write {
-		if alarm := s.checkArgCounts(spec, msgs, seq); alarm != nil {
-			s.raise(alarm, msgs)
+		if alarm := l.checkArgCounts(spec, msgs, seq); alarm != nil {
+			l.raise(alarm, msgs)
 			return true
 		}
 		fd0 := msgs[0].call.Args[0]
-		if idx, err := s.slotFor(fd0); err == nil &&
-			s.files[idx].kind == kindFile && !s.files[idx].shared {
+		s.mu.Lock()
+		idx, err := s.slotFor(fd0)
+		unsharedFile := err == nil && s.files[idx].kind == kindFile && !s.files[idx].shared
+		s.mu.Unlock()
+		if unsharedFile {
 			for i := 1; i < s.n; i++ {
 				if msgs[i].call.Args[0] != fd0 {
-					s.raise(&Alarm{
+					l.raise(&Alarm{
 						Reason:  ReasonArgDivergence,
 						Syscall: spec.Name,
 						Seq:     seq,
@@ -405,16 +566,16 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 					return true
 				}
 			}
-			canon := s.canonBuf(3)
+			canon := l.canonBuf(3)
 			canon[0], canon[1], canon[2] = fd0, 0, 0
-			return s.execute(spec, num, canon, msgs, seq)
+			return l.execute(spec, num, canon, msgs, seq)
 		}
 	}
 
 	// Canonicalize and compare arguments.
-	canon, alarm := s.canonicalArgs(spec, msgs, seq)
+	canon, alarm := l.canonicalArgs(spec, msgs, seq)
 	if alarm != nil {
-		s.raise(alarm, msgs)
+		l.raise(alarm, msgs)
 		return true
 	}
 
@@ -423,7 +584,7 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 		p0 := msgs[0].call.Data
 		for i := 1; i < s.n; i++ {
 			if !bytes.Equal(msgs[i].call.Data, p0) {
-				s.raise(&Alarm{
+				l.raise(&Alarm{
 					Reason:  ReasonArgDivergence,
 					Syscall: spec.Name,
 					Seq:     seq,
@@ -435,12 +596,12 @@ func (s *system) dispatch(msgs []*callMsg) bool {
 		}
 	}
 
-	return s.execute(spec, num, canon, msgs, seq)
+	return l.execute(spec, num, canon, msgs, seq)
 }
 
 // checkArgCounts validates each variant's argument count against the
 // spec.
-func (s *system) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm {
+func (l *lane) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm {
 	nargs := len(spec.Args)
 	for i, m := range msgs {
 		if len(m.call.Args) != nargs {
@@ -456,24 +617,26 @@ func (s *system) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm 
 	return nil
 }
 
-// canonBuf returns the reusable canonical-argument scratch, sized to
-// nargs. The returned slice is valid until the next rendezvous.
-func (s *system) canonBuf(nargs int) []word.Word {
-	if cap(s.canon) < nargs {
-		s.canon = make([]word.Word, nargs)
+// canonBuf returns the lane's reusable canonical-argument scratch,
+// sized to nargs. The returned slice is valid until the next
+// rendezvous.
+func (l *lane) canonBuf(nargs int) []word.Word {
+	if cap(l.canon) < nargs {
+		l.canon = make([]word.Word, nargs)
 	}
-	return s.canon[:nargs]
+	return l.canon[:nargs]
 }
 
 // canonicalArgs inverts/normalizes each variant's arguments and checks
 // cross-variant equivalence, returning variant 0's canonical vector
 // (borrowed scratch, valid until the next rendezvous).
-func (s *system) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Word, *Alarm) {
-	if alarm := s.checkArgCounts(spec, msgs, seq); alarm != nil {
+func (l *lane) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Word, *Alarm) {
+	s := l.sys
+	if alarm := l.checkArgCounts(spec, msgs, seq); alarm != nil {
 		return nil, alarm
 	}
 	nargs := len(spec.Args)
-	canon := s.canonBuf(nargs)
+	canon := l.canonBuf(nargs)
 	for j := 0; j < nargs; j++ {
 		kind := spec.Args[j]
 		var c0 word.Word
@@ -537,10 +700,23 @@ func replyAll(msgs []*callMsg, r sys.Reply) {
 }
 
 // replyErrno sends an errno reply to every variant.
-func (s *system) replyErrno(msgs []*callMsg, err error) {
+func replyErrno(msgs []*callMsg, err error) {
 	if e, ok := vos.AsErrno(err); ok {
 		replyAll(msgs, sys.Reply{Errno: e})
 		return
 	}
 	replyAll(msgs, sys.Reply{Errno: vos.ErrInval})
+}
+
+// replyFail answers a failed blocking operation: with Killed when the
+// group has been torn down (so variants unwind via ErrKilled instead
+// of mistaking the teardown for an errno), with the errno otherwise.
+// It returns true when the lane monitor should stop.
+func (l *lane) replyFail(msgs []*callMsg, err error) bool {
+	if l.sys.killedNow() {
+		replyAll(msgs, sys.Reply{Killed: true})
+		return true
+	}
+	replyErrno(msgs, err)
+	return false
 }

@@ -186,28 +186,20 @@ func (f Slot) Apply(x word.Word) (word.Word, error) {
 // and strips it.
 func (f Slot) Invert(y word.Word) (word.Word, error) {
 	if int(y>>f.shift()) != f.Index {
-		// Formatting is deferred: spec validation inverts tens of
-		// thousands of out-of-slot samples on the fleet's replacement
-		// path, where an eagerly formatted error would dominate the
-		// whole generation cost.
-		return 0, &slotFaultError{f: f, y: y}
+		// The shared sentinel keeps this path allocation-free: spec
+		// validation inverts tens of thousands of out-of-slot samples
+		// on the fleet's replacement path (it is the fleet bench's
+		// dominant allocation source otherwise), and every consumer
+		// that reports the fault — the monitor's alarm detail — prints
+		// the offending value alongside the error anyway.
+		return 0, errSlotFault
 	}
 	return y &^ (word.Max << f.shift()), nil
 }
 
-// slotFaultError reports an out-of-slot value with lazy formatting.
-type slotFaultError struct {
-	f Slot
-	y word.Word
-}
-
-// Error implements the error interface.
-func (e *slotFaultError) Error() string {
-	return fmt.Sprintf("invert %s on %s: value outside this variant's slot: %v", e.f.Name(), e.y, ErrOutOfDomain)
-}
-
-// Unwrap keeps errors.Is(err, ErrOutOfDomain) working.
-func (e *slotFaultError) Unwrap() error { return ErrOutOfDomain }
+// errSlotFault reports a value whose top bits name a different
+// variant's slot. errors.Is(errSlotFault, ErrOutOfDomain) holds.
+var errSlotFault = fmt.Errorf("invert slot: value outside this variant's slot: %w", ErrOutOfDomain)
 
 // Domain implements Func: canonical values occupy the low bits.
 func (f Slot) Domain(x word.Word) bool { return x>>f.shift() == 0 }

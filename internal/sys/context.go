@@ -30,6 +30,24 @@ type Program interface {
 	Run(ctx *Context) error
 }
 
+// WorkerProgram is a Program that supports prefork worker lanes. After
+// the primary lane calls Context.Prefork(w), the kernel runs RunWorker
+// in w-1 fresh lanes — each an independent N-variant rendezvous over
+// fresh per-lane address spaces — with worker being the lane index in
+// [1, w). Lane 0 continues inline when Prefork returns, conventionally
+// running the same loop body as worker 0. Like Run, a non-ErrKilled
+// error return is a variant fault.
+//
+// A worker lane's memory starts empty (the simulation has no
+// copy-on-write fork image): state the workers need from startup is
+// carried on the program value itself, which the variant's lanes share
+// — the analogue of inherited process memory, made race-free by the
+// Prefork rendezvous ordering startup writes before worker reads.
+type WorkerProgram interface {
+	Program
+	RunWorker(ctx *Context, worker int) error
+}
+
 // Context is the per-variant execution environment: the variant's
 // simulated memory plus the syscall interface. It mirrors the libc
 // layer of the paper's variants.
@@ -38,6 +56,9 @@ type Context struct {
 	Variant int
 	// NumVariants is the group size (1 when running plain).
 	NumVariants int
+	// Worker is the index of the prefork worker lane this context
+	// executes in (0 for the primary lane and for serial programs).
+	Worker int
 	// Mem is this variant's simulated address space.
 	Mem *vmem.Space
 
@@ -327,6 +348,20 @@ func (c *Context) Time() (word.Word, error) {
 	return c.sys0(Time)
 }
 
+// Prefork starts w-1 additional worker lanes running the program's
+// RunWorker body and returns w. Only worker lane 0 may call it, once,
+// and every variant program of the group must implement WorkerProgram.
+func (c *Context) Prefork(w int) (int, error) {
+	v, err := c.sys1(Prefork, word.Word(w))
+	return int(v), err
+}
+
+// ScoreAdd atomically adds delta to the group-wide scoreboard counter
+// and returns the new total (identical across the lane's variants).
+func (c *Context) ScoreAdd(delta word.Word) (word.Word, error) {
+	return c.sys1(ScoreAdd, delta)
+}
+
 // UIDValue exposes a single UID value to the monitor (Table 2):
 // the kernel checks cross-variant equivalence and returns the value
 // unchanged.
@@ -386,3 +421,15 @@ func (p ProgramFunc) Name() string { return p.ProgName }
 
 // Run implements Program.
 func (p ProgramFunc) Run(ctx *Context) error { return p.Fn(ctx) }
+
+// WorkerProgramFunc adapts a pair of functions to WorkerProgram.
+type WorkerProgramFunc struct {
+	ProgramFunc
+	// WorkerFn is the worker-lane body.
+	WorkerFn func(ctx *Context, worker int) error
+}
+
+var _ WorkerProgram = WorkerProgramFunc{}
+
+// RunWorker implements WorkerProgram.
+func (p WorkerProgramFunc) RunWorker(ctx *Context, worker int) error { return p.WorkerFn(ctx, worker) }

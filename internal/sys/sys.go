@@ -78,6 +78,21 @@ const (
 	CCLeq
 	CCGt
 	CCGeq
+
+	// Prefork asks the monitor to start additional worker lanes — the
+	// prefork-server fork(): each new lane is an independent N-variant
+	// rendezvous over fresh per-lane address spaces, sharing the
+	// group's descriptor table and credentials. Args: total worker
+	// count W (the calling lane continues as worker 0; W-1 lanes are
+	// spawned). Only worker lane 0 may prefork, exactly once.
+	Prefork
+	// ScoreAdd atomically adds its argument to the group-wide
+	// scoreboard counter and returns the new total, performed once per
+	// lane rendezvous with the same value replicated to every variant —
+	// prefork Apache's shared-memory scoreboard reduced to one word,
+	// letting concurrent worker lanes make identical decisions (e.g. a
+	// served-connection budget) from a shared count. Args: delta.
+	ScoreAdd
 )
 
 // String names the syscall as in the paper.
@@ -167,6 +182,9 @@ var specs = map[Num]Spec{
 	Recv:   {Name: "recv", Class: ClassInput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
 	Send:   {Name: "send", Class: ClassOutput, Args: []ArgKind{ArgPlain, ArgAddr, ArgPlain}},
 	Time:   {Name: "time", Class: ClassInput},
+
+	Prefork:  {Name: "prefork", Class: ClassState, Args: []ArgKind{ArgPlain}},
+	ScoreAdd: {Name: "score_add", Class: ClassInput, Args: []ArgKind{ArgPlain}},
 
 	UIDValue: {Name: "uid_value", Class: ClassDetect, Args: []ArgKind{ArgUID}},
 	CondChk:  {Name: "cond_chk", Class: ClassDetect, Args: []ArgKind{ArgBool}},

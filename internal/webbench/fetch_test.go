@@ -1,0 +1,77 @@
+package webbench
+
+import (
+	"testing"
+
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+)
+
+func TestAppendRequestShape(t *testing.T) {
+	req := httpd.AppendRequest(nil, "/index.html")
+	if string(req) != "GET /index.html HTTP/1.0\r\n\r\n" {
+		t.Errorf("request = %q", req)
+	}
+	// Appending onto a reused buffer must not retain old bytes.
+	req = httpd.AppendRequest(req[:0], "/a.css")
+	if string(req) != "GET /a.css HTTP/1.0\r\n\r\n" {
+		t.Errorf("reused request = %q", req)
+	}
+}
+
+func TestFetchMatchesGet(t *testing.T) {
+	// The scratch-reusing client path must agree with the allocating
+	// one on status and body size, for hits and misses.
+	h, err := harness.Start(harness.Config1Unmodified, httpd.DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _, _ = h.Stop() }()
+	client := h.Client()
+	for _, uri := range []string{"/index.html", "/no-such-page.html", "/styles.css"} {
+		gcode, gbody, gerr := client.Get(uri)
+		fcode, flen, ferr := client.Fetch(httpd.AppendRequest(nil, uri))
+		if gerr != nil || ferr != nil {
+			t.Fatalf("%s: get err=%v fetch err=%v", uri, gerr, ferr)
+		}
+		if fcode != gcode || flen != len(gbody) {
+			t.Errorf("%s: fetch = (%d, %d), get = (%d, %d)", uri, fcode, flen, gcode, len(gbody))
+		}
+	}
+	// A malformed request still yields a parsed status, not an error.
+	if code, _, err := client.Fetch([]byte("NONSENSE\r\n\r\n")); err != nil || code != 400 {
+		t.Errorf("fetch of malformed request = %d, %v; want 400", code, err)
+	}
+}
+
+func TestLoadAgainstWorkers(t *testing.T) {
+	// Saturated load against a prefork group: all requests served, no
+	// false alarm, and the engines' scratch reuse returns correct byte
+	// counts (Bytes must match the sum of body lengths Get would see).
+	opts := httpd.DefaultOptions()
+	opts.Workers = 4
+	h, err := harness.Start(harness.Config4UIDVariation, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(h.Net, h.Port, Options{Engines: 8, RequestsPerEngine: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Errors != 0 || m.Requests != 64 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Bytes == 0 {
+		t.Error("no bytes accounted")
+	}
+	res, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean {
+		t.Errorf("alarm under benign load: %+v", res.Alarm)
+	}
+	if res.Workers != 4 {
+		t.Errorf("workers = %d, want 4", res.Workers)
+	}
+}

@@ -84,6 +84,12 @@ type (
 
 	// Program is the code run (with per-variant data) by each variant.
 	Program = sys.Program
+	// WorkerProgram is a Program supporting prefork worker lanes: after
+	// Context.Prefork(w) the kernel runs RunWorker in w-1 concurrent
+	// lanes, each an independent N-variant rendezvous sharing the
+	// group's descriptor table — and any lane's alarm kills the whole
+	// group.
+	WorkerProgram = sys.WorkerProgram
 	// Context is the per-variant syscall environment.
 	Context = sys.Context
 
