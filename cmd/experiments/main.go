@@ -18,10 +18,11 @@ func main() {
 
 func run() error {
 	workers := flag.Int("workers", 0, "prefork worker-lane count for the nsweep servers (0 = serial)")
+	seed := flag.Int64("seed", 0, "chaos campaign seed (0 = fixed default)")
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
-		which = []string{"table1", "table2", "table3", "figure1", "figure2", "overwrite", "changes", "nsweep"}
+		which = []string{"table1", "table2", "table3", "figure1", "figure2", "overwrite", "changes", "nsweep", "chaos"}
 	}
 	for _, name := range which {
 		switch name {
@@ -71,6 +72,18 @@ func run() error {
 			opts := experiments.DefaultNSweepOptions()
 			opts.Workers = *workers
 			res, err := experiments.RunNSweep(opts)
+			if err != nil {
+				return err
+			}
+			res.Fprint(os.Stdout)
+		case "chaos":
+			res, err := experiments.RunChaosCampaign(*seed)
+			if err != nil {
+				return err
+			}
+			res.Fprint(os.Stdout)
+		case "faultonly":
+			res, err := experiments.RunFaultOnlyCampaign(*seed)
 			if err != nil {
 				return err
 			}

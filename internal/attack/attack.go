@@ -222,29 +222,10 @@ func (o Outcome) String() string {
 // Evaluate applies the overwrite to each variant's representation of
 // victim and reports the monitor-visible outcome at the datum's next
 // use: an inversion failure or canonical divergence is detection; equal
-// changed canonical values are undetected corruption.
+// changed canonical values are undetected corruption. It is the
+// two-variant form of EvaluateN (corpus.go).
 func Evaluate(p reexpress.Pair, victim word.Word, ow Overwrite) (Outcome, error) {
-	rep0, err := p.R0.Apply(victim)
-	if err != nil {
-		return 0, fmt.Errorf("reexpress victim for variant 0: %w", err)
-	}
-	rep1, err := p.R1.Apply(victim)
-	if err != nil {
-		return 0, fmt.Errorf("reexpress victim for variant 1: %w", err)
-	}
-	inv0, err0 := p.R0.Invert(ow.Mutate(rep0))
-	inv1, err1 := p.R1.Invert(ow.Mutate(rep1))
-	if err0 != nil || err1 != nil {
-		return OutcomeDetected, nil
-	}
-	switch {
-	case inv0 != inv1:
-		return OutcomeDetected, nil
-	case inv0 == victim:
-		return OutcomeHarmless, nil
-	default:
-		return OutcomeCorrupted, nil
-	}
+	return EvaluateN([]reexpress.Func{p.R0, p.R1}, victim, ow)
 }
 
 // StandardOverwrites returns the §3.2 campaign set: the root-forging

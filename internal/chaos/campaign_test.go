@@ -1,0 +1,173 @@
+package chaos_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/chaos"
+)
+
+// smallConfig is a fast campaign crossing that still exercises every
+// moving part: benign + detecting + flood scenarios, a transparent and
+// a crash fault plan, serial and prefork groups, and the fleet section.
+func smallConfig(seed int64) chaos.Config {
+	forge, err := attack.ScenarioByName("forge-root-uid")
+	if err != nil {
+		panic(err)
+	}
+	flood, err := attack.ScenarioByName("malformed-flood")
+	if err != nil {
+		panic(err)
+	}
+	cfg := chaos.DefaultConfig(seed)
+	cfg.Requests = 6
+	cfg.Ns = []int{2}
+	cfg.Workers = []int{1, 2}
+	cfg.Stacks = []string{chaos.StackFull}
+	cfg.Attacks = []attack.Scenario{chaos.NoAttack(), forge, flood}
+	cfg.ByteSweep = false
+	cfg.FleetGroups = 2
+	cfg.FleetProbes = 1
+	return cfg
+}
+
+// firstDiff reports the first line where two renderings diverge —
+// go-cmp is not vendored in this module, so the comparison is
+// byte-wise with a line-level report for debugging.
+func firstDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d: %q != %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d lines", len(al), len(bl))
+}
+
+func TestCampaignSameSeedByteIdenticalJSON(t *testing.T) {
+	cfg := smallConfig(7)
+	r1, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same seed produced different matrices: %s", firstDiff(j1, j2))
+	}
+	if v := r1.Check(); len(v) > 0 {
+		t.Fatalf("campaign contract violated: %v", v)
+	}
+}
+
+func TestFaultOnlyCampaignZeroFalseAlarms(t *testing.T) {
+	// The satellite contract: every transparent fault plan against
+	// healthy full-stack groups at N ∈ {2,3,5}, W ∈ {1,4} must produce
+	// zero alarms — the paper's transparency-under-benign-faults claim
+	// swept across the whole chaos plan set.
+	cfg := chaos.FaultOnlyConfig(3)
+	cfg.Requests = 8
+	r, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(chaos.TransparentPlans()) * len(cfg.Ns) * len(cfg.Workers)
+	if len(r.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(r.Cells), wantCells)
+	}
+	for _, c := range r.Cells {
+		if c.Detected {
+			t.Errorf("false alarm under %s at n=%d w=%d: %s", c.Fault, c.N, c.Workers, c.AlarmReason)
+		}
+		if c.BenignOK == 0 {
+			t.Errorf("no request survived %s at n=%d w=%d", c.Fault, c.N, c.Workers)
+		}
+	}
+	if r.Summary.FalseAlarms != 0 {
+		t.Errorf("summary.FalseAlarms = %d, want 0", r.Summary.FalseAlarms)
+	}
+	if v := r.Check(); len(v) > 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestCampaignCorpusDetectedAndBaselineLeaks(t *testing.T) {
+	// Every corpus scenario against both stacks, fault-free: the full
+	// stack must detect every detection-class attack with no defended
+	// leak; the diversity baseline (no UID layer) must leak the secret
+	// to the root-forging attack — the contrast that quantifies what
+	// the data variation buys.
+	cfg := chaos.Config{
+		Seed:          5,
+		Requests:      4,
+		TriggerBudget: 16,
+		Ns:            []int{2},
+		Workers:       []int{1},
+		Stacks:        []string{chaos.StackFull, chaos.StackBaseline},
+		Attacks:       attack.Corpus(),
+		Faults:        []chaos.Plan{{Name: "none", Transparent: true}},
+	}
+	r, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineLeaked := false
+	for _, c := range r.Cells {
+		switch {
+		case c.ExpectDetect && !c.Detected:
+			t.Errorf("%s on %s: not detected", c.Attack, c.Stack)
+		case c.Stack == chaos.StackFull && c.Leaked:
+			t.Errorf("%s leaked from a defended group", c.Attack)
+		case c.Attack == "malformed-flood" && c.Detected:
+			t.Errorf("malformed flood raised a false alarm on %s: %s", c.Stack, c.AlarmReason)
+		}
+		if c.Stack == chaos.StackBaseline && c.Attack == "forge-root-uid" {
+			baselineLeaked = c.Leaked
+		}
+	}
+	if !baselineLeaked {
+		t.Error("forge-root-uid did not leak from the undefended baseline stack — the attack itself is broken")
+	}
+}
+
+func TestCampaignByteSweepNoCorruption(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:      11,
+		Ns:        []int{2, 4},
+		ByteSweep: true,
+	}
+	r, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ByteSweeps) != 3 { // paper pair + one per N
+		t.Fatalf("byte-sweep rows = %d, want 3", len(r.ByteSweeps))
+	}
+	for _, b := range r.ByteSweeps {
+		if b.Trials != 1024 {
+			t.Errorf("%s n=%d: trials = %d, want 1024", b.Name, b.N, b.Trials)
+		}
+		if b.Corrupted != 0 {
+			t.Errorf("%s n=%d: %d undetected corruptions", b.Name, b.N, b.Corrupted)
+		}
+		if b.Detected == 0 {
+			t.Errorf("%s n=%d: nothing detected", b.Name, b.N)
+		}
+	}
+}

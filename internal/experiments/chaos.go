@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"nvariant/internal/chaos"
+)
+
+// RunChaosCampaign is the experiments entry point for the chaos
+// campaign: the standard attack × fault × N × W × stack sweep at the
+// given seed (0 selects the fixed default, keeping runs reproducible
+// unless explicitly varied). The returned matrix renders humans a
+// summary via Fprint and machines the byte-identical JSON via JSON().
+func RunChaosCampaign(seed int64) (*chaos.Result, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	return chaos.Run(chaos.DefaultConfig(seed))
+}
+
+// RunFaultOnlyCampaign is the transparency matrix: every transparent
+// fault plan against healthy full-stack groups, which must show zero
+// alarms — the paper's benign-fault transparency claim under chaos.
+func RunFaultOnlyCampaign(seed int64) (*chaos.Result, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	return chaos.Run(chaos.FaultOnlyConfig(seed))
+}

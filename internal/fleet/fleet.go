@@ -28,6 +28,7 @@ import (
 
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
+	"nvariant/internal/nvkernel"
 	"nvariant/internal/reexpress"
 	"nvariant/internal/simnet"
 )
@@ -88,6 +89,14 @@ type Options struct {
 	// AuditTo optionally mirrors each audit entry as a line (e.g.
 	// os.Stderr for demos).
 	AuditTo io.Writer
+	// Faults is an optional fault injector installed on the fleet's
+	// shared network before any group starts — the chaos campaign's
+	// way of disturbing the whole data plane (dispatch proxying
+	// included).
+	Faults simnet.FaultInjector
+	// Kernel holds extra kernel options every spawned group (initial
+	// or replacement) is built with — e.g. a chaos fault hook.
+	Kernel []nvkernel.Option
 }
 
 // withDefaults fills zero-valued options.
@@ -178,6 +187,9 @@ func New(opts Options) (*Fleet, error) {
 		audit:    newAuditLog(opts.AuditTo),
 		nextPort: opts.BasePort,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.Faults != nil {
+		f.net.SetFaultInjector(opts.Faults)
 	}
 	f.pool.Store(new([]*group))
 	for i := 0; i < opts.Groups; i++ {
@@ -437,6 +449,43 @@ func (f *Fleet) Stats() Stats {
 		})
 	}
 	return s
+}
+
+// ShutdownGroup closes the listening port of the healthy group with
+// the given id, as a crashing machine would: the group exits, its
+// watcher prunes and replaces it, and in-flight connections drop. It
+// returns false when no healthy group has that id. This is the chaos
+// campaign's group-restart-under-load fault (the paper's launcher
+// killing a process group, aimed at one pool member).
+func (f *Fleet) ShutdownGroup(id int) bool {
+	f.mu.Lock()
+	var victim *group
+	for _, g := range f.groups {
+		if g.id == id {
+			victim = g
+			break
+		}
+	}
+	f.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	return f.net.ShutdownPort(victim.port) == nil
+}
+
+// OldestGroupID returns the id of the longest-lived healthy group, or
+// -1 for an empty pool — the deterministic restart victim chaos plans
+// use (ids are never reused, so the minimum id is the oldest group).
+func (f *Fleet) OldestGroupID() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldest := -1
+	for _, g := range f.groups {
+		if oldest == -1 || g.id < oldest {
+			oldest = g.id
+		}
+	}
+	return oldest
 }
 
 // Await polls Stats until cond holds or timeout elapses. Recovery is

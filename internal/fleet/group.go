@@ -110,6 +110,7 @@ func (f *Fleet) specFor(port uint16, spec *reexpress.Spec) harness.GroupSpec {
 		Port:      port,
 		Diversity: spec,
 		Workers:   f.opts.Workers,
+		Kernel:    f.opts.Kernel,
 	}
 }
 

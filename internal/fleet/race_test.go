@@ -7,12 +7,14 @@ package fleet_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"nvariant/internal/attack"
 	"nvariant/internal/fleet"
+	"nvariant/internal/testutil"
 	"nvariant/internal/vos"
 )
 
@@ -34,17 +36,23 @@ func TestFleetConcurrentDispatchRace(t *testing.T) {
 		}()
 	}
 
-	// An attacker interleaving probes (forcing quarantine churn).
+	// An attacker interleaving probes (forcing quarantine churn). Poll
+	// rather than Eventually: this runs off the test goroutine, and the
+	// final counter assertions below catch a missed detection.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		client := f.Client()
 		for i := 0; i < 2; i++ {
 			_, _ = client.Raw(attack.ForgeUIDPayload(vos.Root))
-			deadline := time.Now().Add(10 * time.Second)
-			for f.Stats().Detections < i+1 && time.Now().Before(deadline) {
+			want := i + 1
+			_ = testutil.Poll(10*time.Second, func() bool {
+				if f.Stats().Detections >= want {
+					return true
+				}
 				_, _, _ = client.Get("/private/secret.html")
-			}
+				return false
+			})
 		}
 	}()
 
@@ -156,6 +164,7 @@ func TestFleetProxyPooledPayloadIntegrity(t *testing.T) {
 }
 
 func TestFleetStopDuringDispatchRace(t *testing.T) {
+	before := runtime.NumGoroutine()
 	f := startFleet(t, fleet.Options{Groups: 2})
 	var wg sync.WaitGroup
 	for c := 0; c < 4; c++ {
@@ -181,4 +190,8 @@ func TestFleetStopDuringDispatchRace(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("clients hung after fleet stop")
 	}
+
+	// Stop waited for every fleet goroutine; the groups' kernel
+	// goroutines must have drained too.
+	testutil.CheckNoGoroutineLeak(t, before, 2)
 }

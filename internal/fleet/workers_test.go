@@ -7,6 +7,7 @@ import (
 	"nvariant/internal/attack"
 	"nvariant/internal/fleet"
 	"nvariant/internal/httpd"
+	"nvariant/internal/testutil"
 	"nvariant/internal/vos"
 	"nvariant/internal/webbench"
 )
@@ -37,15 +38,18 @@ func TestFleetWorkersServeAndRecover(t *testing.T) {
 	if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
 		t.Fatalf("probe: %v", err)
 	}
-	deadline := time.Now().Add(15 * time.Second)
-	for f.Stats().Detections < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("probe not detected: %+v", f.Stats())
+	if !testutil.Poll(15*time.Second, func() bool {
+		if f.Stats().Detections >= 1 {
+			return true
 		}
 		code, body, err := client.Get("/private/secret.html")
 		if err == nil && code == 200 && httpd.ContainsSecret(body) {
-			t.Fatal("secret leaked from a worker lane")
+			t.Error("secret leaked from a worker lane")
+			return true
 		}
+		return false
+	}) {
+		t.Fatalf("probe not detected: %+v", f.Stats())
 	}
 	if err := f.AwaitReplenished(1, 2, 15*time.Second); err != nil {
 		t.Fatal(err)

@@ -87,6 +87,11 @@ type GroupSpec struct {
 	// Workers connections concurrently (any alarm in any lane still
 	// kills the whole group).
 	Workers int
+	// Kernel holds extra kernel options applied to every (re)build of
+	// the group — the chaos campaign threads its fault hooks through
+	// here, so a fleet's replacement groups inherit the same fault
+	// plan as the group they replace.
+	Kernel []nvkernel.Option
 }
 
 // port returns the effective listening port.
@@ -137,8 +142,17 @@ func Build(c Configuration, world *vos.World, serverOpts httpd.Options) ([]sys.P
 }
 
 // BuildSpec prepares the world for a group spec and returns the variant
-// programs plus kernel options.
+// programs plus kernel options (the configuration's own options
+// followed by the spec's extra Kernel options).
 func BuildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Option, error) {
+	progs, kopts, err := buildSpec(world, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return progs, append(kopts, spec.Kernel...), nil
+}
+
+func buildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Option, error) {
 	if err := httpd.SetupWorldAt(world, spec.port()); err != nil {
 		return nil, nil, err
 	}

@@ -5,13 +5,16 @@ package harness
 // tests call Stop/Wait/Result from others. Run with -race (CI does).
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
 	"nvariant/internal/httpd"
+	"nvariant/internal/testutil"
 )
 
 func TestConcurrentStopWaitRace(t *testing.T) {
+	before := runtime.NumGoroutine()
 	h := startConfig(t, Config4UIDVariation, httpd.DefaultOptions())
 
 	// A few clients in flight while the handle is torn down from many
@@ -54,6 +57,10 @@ func TestConcurrentStopWaitRace(t *testing.T) {
 	if res.Alarm != nil {
 		t.Errorf("alarm under concurrent teardown: %+v", res.Alarm)
 	}
+
+	// The handle's kernel goroutines and both variants must be gone
+	// once Wait has returned from every caller.
+	testutil.CheckNoGoroutineLeak(t, before, 2)
 }
 
 func TestResultBeforeDone(t *testing.T) {

@@ -27,6 +27,13 @@ func ParseRequestLine(buf []byte) (Request, error) {
 		return Request{}, fmt.Errorf("httpd: request line missing terminator")
 	}
 	line := strings.TrimRight(text[:nl], "\r")
+	// Control bytes have no place in a request line; accepting them
+	// would let tokens like a bare CR pose as a method (fuzz-found).
+	for i := 0; i < len(line); i++ {
+		if line[i] < 0x20 || line[i] == 0x7F {
+			return Request{}, fmt.Errorf("httpd: control byte in request line %q", line)
+		}
+	}
 	parts := strings.Split(line, " ")
 	if len(parts) != 3 {
 		return Request{}, fmt.Errorf("httpd: malformed request line %q", line)

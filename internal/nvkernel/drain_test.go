@@ -9,6 +9,7 @@ import (
 
 	"nvariant/internal/simnet"
 	"nvariant/internal/sys"
+	"nvariant/internal/testutil"
 )
 
 // TestStragglerDrainGoroutinesExit is the regression test for the
@@ -19,19 +20,6 @@ import (
 // channel — one leaked goroutine set per straggler run, for the life
 // of the process.
 func TestStragglerDrainGoroutinesExit(t *testing.T) {
-	waitForGoroutines := func(limit int) int {
-		var n int
-		for i := 0; i < 200; i++ {
-			runtime.Gosched()
-			n = runtime.NumGoroutine()
-			if n <= limit {
-				return n
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		return n
-	}
-
 	before := runtime.NumGoroutine()
 	var spin atomic.Bool // released at the end so the variant itself can exit
 
@@ -66,15 +54,13 @@ func TestStragglerDrainGoroutinesExit(t *testing.T) {
 
 	// Only the spinning variant goroutines may outlive their runs
 	// (goroutines are not killable); every drain goroutine and waiter
-	// must be gone. Allow a small slack for runtime background work.
-	if got := waitForGoroutines(before + runs + 2); got > before+runs+2 {
+	// must be gone. The slack of runs covers the spinners themselves.
+	if got := testutil.WaitGoroutines(before + runs + 2); got > before+runs+2 {
 		t.Errorf("goroutines after %d straggler runs = %d, want <= %d (drain leak)",
 			runs, got, before+runs+2)
 	}
 
 	// Release the spinners; everything should drain back to baseline.
 	spin.Store(true)
-	if got := waitForGoroutines(before + 2); got > before+2 {
-		t.Errorf("goroutines after releasing spinners = %d, want <= %d", got, before+2)
-	}
+	testutil.CheckNoGoroutineLeak(t, before, 2)
 }

@@ -121,7 +121,7 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 
 	case sys.Stat:
 		s.mu.Lock()
-		info, err := s.world.FS.Stat(string(msgs[0].call.Data), s.cred)
+		info, err := s.world.FS.Stat(string(msgs[0].call.Data), l.cred)
 		s.mu.Unlock()
 		if err != nil {
 			replyErrno(msgs, err)
@@ -131,9 +131,8 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		return false
 
 	case sys.Getuid, sys.Geteuid, sys.Getgid, sys.Getegid:
-		s.mu.Lock()
-		cred := s.cred
-		s.mu.Unlock()
+		// Credentials are lane-private (fork semantics): no lock.
+		cred := l.cred
 		var real word.Word
 		switch num {
 		case sys.Getuid:
@@ -164,8 +163,9 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		return false
 
 	case sys.Setuid, sys.Seteuid, sys.Setreuid, sys.Setgid, sys.Setegid:
-		s.mu.Lock()
-		cred := s.cred
+		// Identity changes touch only this lane's credentials, exactly
+		// as a prefork worker's setuid affects only its own process.
+		cred := l.cred
 		var err error
 		switch num {
 		case sys.Setuid:
@@ -179,14 +179,11 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		default:
 			err = cred.Setegid(canon[0])
 		}
-		if err == nil {
-			s.cred = cred
-		}
-		s.mu.Unlock()
 		if err != nil {
 			replyErrno(msgs, err)
 			return false
 		}
+		l.cred = cred
 		replyAll(msgs, sys.Reply{})
 		return false
 
@@ -199,6 +196,14 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 			return false
 		}
 		s.mu.Lock()
+		if s.killedNow() {
+			// Same install-after-teardown shape as Accept: a listener
+			// registered after the kill would hold its port forever.
+			s.mu.Unlock()
+			_ = listener.Close()
+			replyAll(msgs, sys.Reply{Killed: true})
+			return true
+		}
 		idx := s.allocSlot()
 		s.files[idx] = fileEntry{kind: kindListener, shared: true, listener: listener, files: s.files[idx].files}
 		s.mu.Unlock()
@@ -223,6 +228,20 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 			return l.replyFail(msgs, vos.ErrBadFD)
 		}
 		s.mu.Lock()
+		if s.killedNow() {
+			// The group died while this lane was blocked in accept (a
+			// connection can still win the race against the listener
+			// close). The teardown already ran, so installing the conn
+			// would leave it open forever — the dialer would park in
+			// Recv instead of observing the drop. Close it and retire.
+			// Checking under s.mu orders this against kill's
+			// closeAllLocked: either we see the kill here, or our
+			// install completes first and the teardown closes it.
+			s.mu.Unlock()
+			_ = conn.Close()
+			replyAll(msgs, sys.Reply{Killed: true})
+			return true
+		}
 		cidx := s.allocSlot()
 		s.files[cidx] = fileEntry{kind: kindConn, shared: true, conn: conn, files: s.files[cidx].files}
 		s.mu.Unlock()
@@ -326,7 +345,7 @@ func (l *lane) execPrefork(canon []word.Word, msgs []*callMsg) bool {
 		return false
 	}
 	for id := 1; id < w; id++ {
-		s.spawnWorkerLane(id, workers)
+		s.spawnWorkerLane(id, workers, l.cred)
 	}
 	replyAll(msgs, sys.Reply{Val: canon[0]})
 	return false
@@ -346,7 +365,7 @@ func (l *lane) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Sp
 		idx := s.allocSlot()
 		files := s.slotFiles(idx, s.n)
 		for i := 0; i < s.n; i++ {
-			f, err := s.world.FS.Open(UnsharedPath(path, i), flags, perm, s.cred)
+			f, err := s.world.FS.Open(UnsharedPath(path, i), flags, perm, l.cred)
 			if err != nil {
 				for j := 0; j < i; j++ {
 					_ = files[j].Close()
@@ -364,7 +383,7 @@ func (l *lane) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Sp
 		return false
 	}
 
-	f, err := s.world.FS.Open(path, flags, perm, s.cred)
+	f, err := s.world.FS.Open(path, flags, perm, l.cred)
 	if err != nil {
 		s.mu.Unlock()
 		replyErrno(msgs, err)
@@ -542,11 +561,21 @@ func (l *lane) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.S
 		return false
 	}
 	entry := s.files[idx]
-	s.mu.Unlock()
 	if entry.kind != kindFile {
+		s.mu.Unlock()
 		replyErrno(msgs, vos.ErrBadFD)
 		return false
 	}
+	// Pin the open-file descriptions while the lock is held: the
+	// slot's files slice is recycled *in place* by closeSlotLocked, so
+	// a concurrent group kill (a sibling lane alarming) would turn the
+	// aliased entry.files into nils under our feet once the lock is
+	// dropped for payload gathering. A pinned description that loses
+	// the close race fails the write with EBADF — handled below as a
+	// kill — instead of a nil dereference or a write into whatever
+	// file a recycled slot holds next.
+	files := l.pinFiles(entry.files)
+	s.mu.Unlock()
 
 	if entry.shared {
 		data, ok := l.gatherPayloads(canon, msgs, seq, spec)
@@ -554,11 +583,10 @@ func (l *lane) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.S
 			return true
 		}
 		s.mu.Lock()
-		cnt, err := entry.files[0].Write(data)
+		cnt, err := files[0].Write(data)
 		s.mu.Unlock()
 		if err != nil {
-			replyErrno(msgs, err)
-			return false
+			return l.replyFail(msgs, err)
 		}
 		replyAll(msgs, sys.Reply{Val: word.Word(cnt)})
 		return false
@@ -577,16 +605,28 @@ func (l *lane) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.S
 			}, msgs[i:])
 			return true
 		}
-		cnt, err := entry.files[i].Write(b)
+		cnt, err := files[i].Write(b)
 		if err != nil {
 			s.mu.Unlock()
-			replyErrno(msgs[i:], err)
-			return false
+			return l.replyFail(msgs[i:], err)
 		}
 		m.reply <- sys.Reply{Val: word.Word(cnt)}
 	}
 	s.mu.Unlock()
 	return false
+}
+
+// pinFiles copies a slot's description pointers into the lane's
+// reusable pin scratch (valid until the lane's next pin). Caller
+// holds s.mu; the returned slice is safe to dereference after the
+// lock is dropped because it no longer aliases the slot's storage.
+func (l *lane) pinFiles(files []*vos.OpenFile) []*vos.OpenFile {
+	if cap(l.pin) < len(files) {
+		l.pin = make([]*vos.OpenFile, len(files))
+	}
+	l.pin = l.pin[:len(files)]
+	copy(l.pin, files)
+	return l.pin
 }
 
 // execRecv performs the network input once and replicates the message

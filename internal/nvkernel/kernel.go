@@ -147,7 +147,6 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		n:        n,
 		progs:    progs,
 		parts:    parts,
-		cred:     cfg.Cred,
 		addrBits: addrBits,
 		// stop is closed when the post-run drain retires: any variant
 		// that reaches a syscall after that (e.g. a spinner that
@@ -165,7 +164,7 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 	for i := 0; i < n; i++ {
 		v := primary.variants[i]
 		prog := progs[i]
-		ctx := sys.NewContext(i, n, v.mem, s.invokerFor(v))
+		ctx := sys.NewContext(i, n, v.mem, s.invokerFor(primary, v))
 		go func() {
 			defer close(v.done)
 			err := prog.Run(ctx)
@@ -287,7 +286,6 @@ type system struct {
 
 	mu          sync.Mutex
 	files       []fileEntry
-	cred        vos.Cred
 	stdout      []byte
 	stderr      []byte
 	alarm       *Alarm
@@ -305,9 +303,20 @@ type system struct {
 	monitors sync.WaitGroup
 }
 
-// invokerFor builds the syscall invoker of one variant.
-func (s *system) invokerFor(v *variantRT) sys.Invoker {
+// invokerFor builds the syscall invoker of one variant of one lane.
+func (s *system) invokerFor(l *lane, v *variantRT) sys.Invoker {
+	hook := s.cfg.Faults
 	return func(call sys.Call) sys.Reply {
+		if hook != nil {
+			if stall, crash := hook.PreSyscall(l.id, v.id, call.Num); crash {
+				// The variant dies before reaching the rendezvous: its
+				// goroutine unwinds via ErrCrashed and the lane monitor
+				// observes the death as a variant fault.
+				return sys.Reply{Crashed: true}
+			} else if stall > 0 {
+				time.Sleep(stall)
+			}
+		}
 		v.msg.call = call
 		select {
 		case v.calls <- &v.msg:
@@ -324,24 +333,37 @@ type lane struct {
 	sys *system
 	id  int
 
+	// cred is the lane's credential set — per lane, exactly as fork
+	// gives each prefork worker its own copy of the parent's
+	// credentials. Worker lanes snapshot the primary lane's cred at
+	// prefork time. Monitor-goroutine private: a lane changing its
+	// identity (httpd's per-request seteuid dance) must never race a
+	// sibling lane's permission checks — with one group-wide cred, a
+	// lane's between-requests re-escalation to root would let a
+	// concurrent sibling open a root-only document and leak it.
+	cred vos.Cred
+
 	variants []*variantRT
 
 	// Rendezvous scratch, reused across iterations so the steady-state
 	// monitor loop allocates nothing: the arrival slice, the canonical
-	// argument vector, and the payload-gathering buffers.
+	// argument vector, the payload-gathering buffers, and the pinned
+	// open-file descriptions of the write path.
 	msgs   []*callMsg
 	canon  []word.Word
 	ioBuf  []byte // variant-0 payloads and shared-read staging
 	cmpBuf []byte // other variants' payloads during cross-checking
+	pin    []*vos.OpenFile
 
 	rendezvous int
 	exited     bool
 }
 
 // newLane allocates lane id with fresh per-variant address spaces and
-// mailboxes. The lane is not yet registered or running.
+// mailboxes, starting from the group's initial credentials. The lane
+// is not yet registered or running.
 func (s *system) newLane(id int) *lane {
-	l := &lane{sys: s, id: id}
+	l := &lane{sys: s, id: id, cred: s.cfg.Cred}
 	l.variants = make([]*variantRT, s.n)
 	for i := 0; i < s.n; i++ {
 		l.variants[i] = &variantRT{
@@ -357,13 +379,16 @@ func (s *system) newLane(id int) *lane {
 }
 
 // spawnWorkerLane starts worker lane id running the given worker
-// bodies (one per variant) with its own monitor goroutine.
-func (s *system) spawnWorkerLane(id int, workers []sys.WorkerProgram) {
+// bodies (one per variant) with its own monitor goroutine. cred is
+// the forking lane's credentials at prefork time — the fork-copied
+// identity the worker starts with.
+func (s *system) spawnWorkerLane(id int, workers []sys.WorkerProgram, cred vos.Cred) {
 	l := s.newLane(id)
+	l.cred = cred
 	for i := 0; i < s.n; i++ {
 		v := l.variants[i]
 		wp := workers[i]
-		ctx := sys.NewContext(i, s.n, v.mem, s.invokerFor(v))
+		ctx := sys.NewContext(i, s.n, v.mem, s.invokerFor(l, v))
 		ctx.Worker = id
 		go func() {
 			defer close(v.done)

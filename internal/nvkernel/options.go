@@ -5,8 +5,28 @@ import (
 	"time"
 
 	"nvariant/internal/reexpress"
+	"nvariant/internal/sys"
 	"nvariant/internal/vos"
 )
+
+// FaultHook is the kernel's chaos attachment point: when installed, it
+// is consulted by every variant's syscall invoker *before* the call
+// enters the rendezvous. Implementations must be safe for concurrent
+// use (every variant of every worker lane calls from its own
+// goroutine); the chaos package provides seeded deterministic ones.
+//
+// The disabled hook costs one nil check per syscall — nothing else on
+// the hot path.
+type FaultHook interface {
+	// PreSyscall reports the fault for this submission: stall > 0
+	// delays the variant's arrival at the rendezvous by that long (a
+	// slow-syscall / lane-stall fault — transparent while it stays
+	// under the rendezvous Timeout), and crash kills the variant
+	// without reaching the rendezvous (the crash-and-drain fault: the
+	// monitor sees the variant die and raises a variant-fault alarm if
+	// siblings are healthy).
+	PreSyscall(worker, variant int, num sys.Num) (stall time.Duration, crash bool)
+}
 
 // Config collects the kernel configuration for one N-variant process
 // group. Construct via options passed to Run. WithSpec is the primary
@@ -32,6 +52,8 @@ type Config struct {
 	// Spec records the DiversitySpec the group was configured from
 	// (nil when configured through individual options only).
 	Spec *reexpress.Spec
+	// Faults is the optional chaos fault hook (nil = no injection).
+	Faults FaultHook
 }
 
 // Option configures Run.
@@ -114,6 +136,13 @@ func WithUnsharedFiles(paths ...string) Option {
 // WithTimeout sets the rendezvous timeout.
 func WithTimeout(d time.Duration) Option {
 	return func(c *Config) { c.Timeout = d }
+}
+
+// WithFaultHook installs a chaos fault hook on the group: per-variant
+// stalls, slow syscalls, and crash-and-drain faults injected at the
+// syscall boundary.
+func WithFaultHook(h FaultHook) Option {
+	return func(c *Config) { c.Faults = h }
 }
 
 // WithCred sets the group's initial credentials (default root).

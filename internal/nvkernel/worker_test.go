@@ -8,6 +8,7 @@ import (
 
 	"nvariant/internal/simnet"
 	"nvariant/internal/sys"
+	"nvariant/internal/testutil"
 	"nvariant/internal/vos"
 	"nvariant/internal/word"
 )
@@ -21,7 +22,9 @@ type echoServer struct {
 	workers int
 	port    uint16
 	diverge bool
+	logEach bool // write a shared-log line per message (write-path load)
 	lfd     int
+	logfd   int
 }
 
 func (e *echoServer) Name() string { return "echo" }
@@ -32,6 +35,12 @@ func (e *echoServer) Run(ctx *sys.Context) error {
 		return err
 	}
 	e.lfd = lfd
+	if e.logEach {
+		e.logfd, err = ctx.Open("/var/log/echo", vos.WriteOnly|vos.Create|vos.Append, 0644)
+		if err != nil {
+			return err
+		}
+	}
 	if e.workers > 1 {
 		if _, err := ctx.Prefork(e.workers); err != nil {
 			return err
@@ -71,6 +80,11 @@ func (e *echoServer) RunWorker(ctx *sys.Context, worker int) error {
 					}
 				}
 			}
+			if e.logEach {
+				if err := ctx.WriteString(e.logfd, "served\n"); err != nil {
+					return err
+				}
+			}
 			if err := ctx.SendMem(cfd, buf, n); err != nil {
 				return err
 			}
@@ -100,18 +114,15 @@ func startEcho(t *testing.T, w *vos.World, net *simnet.Network, n int, srv func(
 		}
 		done <- res
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	testutil.Eventually(t, 5*time.Second, func() bool {
 		c, err := net.Dial(port)
-		if err == nil {
-			_ = c.Close()
-			return port, done
+		if err != nil {
+			return false
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("echo server never listened")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		_ = c.Close()
+		return true
+	}, "echo server never listened")
+	return port, done
 }
 
 // echoOnce sends payload and expects it echoed back on an open conn.
@@ -178,18 +189,6 @@ func TestWorkerLaneAlarmKillsWholeGroup(t *testing.T) {
 	// mid-flight while the two sibling lanes are parked in recv on open
 	// connections. The whole group must die, the alarm must record the
 	// offending lane, and no kernel goroutine may leak.
-	waitForGoroutines := func(limit int) int {
-		var n int
-		for i := 0; i < 400; i++ {
-			runtime.Gosched()
-			n = runtime.NumGoroutine()
-			if n <= limit {
-				return n
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		return n
-	}
 	before := runtime.NumGoroutine()
 
 	w := newWorld(t)
@@ -249,9 +248,7 @@ func TestWorkerLaneAlarmKillsWholeGroup(t *testing.T) {
 	// Every lane monitor, variant goroutine and drain helper must be
 	// gone (the variants were all blocked in syscalls, so the drain
 	// unwinds them promptly — nothing here spins).
-	if got := waitForGoroutines(before + 2); got > before+2 {
-		t.Errorf("goroutines after group kill = %d, want <= %d (lane leak)", got, before+2)
-	}
+	testutil.CheckNoGoroutineLeak(t, before, 2)
 }
 
 func TestScoreAddSharedCounter(t *testing.T) {

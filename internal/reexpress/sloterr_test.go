@@ -1,0 +1,57 @@
+package reexpress
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nvariant/internal/word"
+)
+
+// The PR 4 allocation fix replaced Slot.Invert's descriptive error
+// with a shared sentinel, losing the offending slot index. The static
+// error table restores the diagnostic; these are the regression tests
+// for both halves of the contract.
+
+func TestSlotInvertFaultNamesOffendingSlot(t *testing.T) {
+	f := Slot{Index: 1, Bits: 2}
+	_, err := f.Invert(word.Word(3) << 30) // a value claiming slot 3
+	if err == nil {
+		t.Fatal("out-of-slot value inverted cleanly")
+	}
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("errors.Is(err, ErrOutOfDomain) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "slot 3") {
+		t.Errorf("error does not name the offending slot: %v", err)
+	}
+
+	// A different observed slot names itself too, through the same
+	// static table.
+	_, err = f.Invert(0) // slot 0
+	if err == nil || !strings.Contains(err.Error(), "slot 0") {
+		t.Errorf("slot-0 fault = %v, want it to name slot 0", err)
+	}
+
+	// Indices beyond the table still match ErrOutOfDomain via the
+	// fallback sentinel.
+	wide := Slot{Index: 0, Bits: 30}
+	_, err = wide.Invert(word.Max)
+	if !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("wide-slot fault does not wrap ErrOutOfDomain: %v", err)
+	}
+}
+
+func TestSlotInvertFaultPathAllocationFree(t *testing.T) {
+	// The whole point of the PR 4 change: spec validation drives this
+	// path tens of thousands of times per fleet replacement.
+	f := Slot{Index: 1, Bits: 2}
+	bad := word.Word(3) << 30
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := f.Invert(bad); err == nil {
+			t.Fatal("expected fault")
+		}
+	}); allocs != 0 {
+		t.Errorf("Slot.Invert fault path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -185,21 +185,40 @@ func (f Slot) Apply(x word.Word) (word.Word, error) {
 // Invert implements Func: checks the slot index, faults on mismatch,
 // and strips it.
 func (f Slot) Invert(y word.Word) (word.Word, error) {
-	if int(y>>f.shift()) != f.Index {
-		// The shared sentinel keeps this path allocation-free: spec
-		// validation inverts tens of thousands of out-of-slot samples
-		// on the fleet's replacement path (it is the fleet bench's
-		// dominant allocation source otherwise), and every consumer
-		// that reports the fault — the monitor's alarm detail — prints
-		// the offending value alongside the error anyway.
-		return 0, errSlotFault
+	if got := int(y >> f.shift()); got != f.Index {
+		return 0, slotFaultFor(got)
 	}
 	return y &^ (word.Max << f.shift()), nil
 }
 
-// errSlotFault reports a value whose top bits name a different
-// variant's slot. errors.Is(errSlotFault, ErrOutOfDomain) holds.
+// slotFaults precomputes one static error per observed slot index.
+// The fault path must stay allocation-free — spec validation inverts
+// tens of thousands of out-of-slot samples on the fleet's replacement
+// path, where a per-call fmt.Errorf was the profiled dominant
+// allocator — but the PR 4 shared sentinel also erased *which* slot
+// the offending value claimed, the diagnostic the monitor's alarm
+// detail and the property-check failures report. A static table keeps
+// both: every entry is built once and wraps ErrOutOfDomain.
+var slotFaults = func() [64]error {
+	var t [64]error
+	for i := range t {
+		t[i] = fmt.Errorf("invert slot: value claims slot %d, not this variant's: %w", i, ErrOutOfDomain)
+	}
+	return t
+}()
+
+// errSlotFault is the fallback for slot indices beyond the static
+// table (wider Bits than any deployed partition uses).
 var errSlotFault = fmt.Errorf("invert slot: value outside this variant's slot: %w", ErrOutOfDomain)
+
+// slotFaultFor returns the static fault error naming the observed
+// slot.
+func slotFaultFor(got int) error {
+	if got >= 0 && got < len(slotFaults) {
+		return slotFaults[got]
+	}
+	return errSlotFault
+}
 
 // Domain implements Func: canonical values occupy the low bits.
 func (f Slot) Domain(x word.Word) bool { return x>>f.shift() == 0 }

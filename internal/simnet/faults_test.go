@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted replays a fixed verdict sequence (then clean delivery).
+type scripted struct {
+	mu     sync.Mutex
+	faults []Fault
+	i      int
+}
+
+func (s *scripted) FaultFor(int) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.i >= len(s.faults) {
+		return Fault{}
+	}
+	f := s.faults[s.i]
+	s.i++
+	return f
+}
+
+// faultPair builds a connected pair on a network with the given
+// scripted verdicts.
+func faultPair(t *testing.T, faults ...Fault) (client, server *Conn) {
+	t.Helper()
+	net := New(0)
+	net.SetFaultInjector(&scripted{faults: faults})
+	l, err := net.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err = net.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err = l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestFaultDropSeversConnection(t *testing.T) {
+	client, server := faultPair(t, Fault{Drop: true})
+	if err := client.Send([]byte("lost")); err != nil {
+		t.Fatalf("dropped send errored: %v", err)
+	}
+	// The receiver observes end of stream, as from a failed link.
+	if msg, err := server.Recv(); err != nil || msg != nil {
+		t.Fatalf("Recv after drop = %q, %v; want EOF", msg, err)
+	}
+	// The sender's endpoint is dead.
+	if err := client.Send([]byte("next")); err == nil {
+		t.Fatal("send on severed connection succeeded")
+	}
+}
+
+func TestFaultTruncateDeliversPrefix(t *testing.T) {
+	client, server := faultPair(t, Fault{TruncateTo: 2})
+	if err := client.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil || string(msg) != "he" {
+		t.Fatalf("Recv = %q, %v; want %q", msg, err, "he")
+	}
+}
+
+func TestFaultDelayAddsLatency(t *testing.T) {
+	const extra = 20 * time.Millisecond
+	client, server := faultPair(t, Fault{Delay: extra})
+	start := time.Now()
+	if err := client.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil || string(msg) != "slow" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	if d := time.Since(start); d < extra {
+		t.Errorf("message crossed in %v, want >= %v", d, extra)
+	}
+}
+
+func TestFaultHoldReordersAdjacentMessages(t *testing.T) {
+	client, server := faultPair(t, Fault{Hold: time.Second})
+	if err := client.Send([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"second", "first"} {
+		msg, err := server.Recv()
+		if err != nil || string(msg) != want {
+			t.Fatalf("Recv %d = %q, %v; want %q", i, msg, err, want)
+		}
+	}
+}
+
+func TestFaultHoldReleasedByTimer(t *testing.T) {
+	// A held message with no successor must not strand the receiver:
+	// the hold bound releases it.
+	client, server := faultPair(t, Fault{Hold: 15 * time.Millisecond})
+	start := time.Now()
+	if err := client.Send([]byte("only")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv()
+	if err != nil || string(msg) != "only" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("held message arrived after %v, want ~15ms", d)
+	}
+}
+
+func TestFaultHoldReleasedOnClose(t *testing.T) {
+	client, server := faultPair(t, Fault{Hold: time.Minute})
+	if err := client.Send([]byte("parting")); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	// The held message entered the wire before the close: it must be
+	// delivered ahead of the end-of-stream marker.
+	msg, err := server.Recv()
+	if err != nil || string(msg) != "parting" {
+		t.Fatalf("Recv = %q, %v", msg, err)
+	}
+	if msg, err := server.Recv(); err != nil || msg != nil {
+		t.Fatalf("second Recv = %q, %v; want EOF", msg, err)
+	}
+}

@@ -36,7 +36,48 @@ type Network struct {
 	listeners map[uint16]*Listener
 	latency   time.Duration
 	sleep     func(time.Duration)
+	// faults, when non-nil, is consulted once per message send. It is
+	// set before any traffic flows (SetFaultInjector) so the data-plane
+	// hot path pays exactly one nil check when chaos is disabled.
+	faults FaultInjector
 }
+
+// Fault is the injector's verdict for one message crossing the wire.
+// The zero value delivers the message untouched.
+type Fault struct {
+	// Drop severs the connection instead of delivering the message —
+	// the link-failure model: the receiver observes end of stream, the
+	// sender's next operation fails with ErrClosed. (Silently vanishing
+	// a message would strand closed-loop peers in Recv forever, which no
+	// real network does to a connection-oriented caller.)
+	Drop bool
+	// Delay adds extra one-way latency on top of the network's
+	// configured latency.
+	Delay time.Duration
+	// TruncateTo, when in (0, len(payload)), delivers only the leading
+	// TruncateTo bytes of the message.
+	TruncateTo int
+	// Hold, when positive, parks the message until the sender's next
+	// message on the same connection — which is then delivered first,
+	// an adjacent-message reorder — or until Hold elapses or the
+	// endpoint closes, whichever comes first. The time bound keeps a
+	// held message with no successor from stranding a closed-loop
+	// receiver forever.
+	Hold time.Duration
+}
+
+// FaultInjector decides the fate of each message entering the wire.
+// Implementations must be safe for concurrent use; the chaos package
+// provides seeded deterministic implementations.
+type FaultInjector interface {
+	// FaultFor is called once per message send with the payload size.
+	FaultFor(size int) Fault
+}
+
+// SetFaultInjector installs a fault injector on the network. It must be
+// called before any traffic flows (there is no synchronization with
+// in-flight sends); passing nil leaves the network fault-free.
+func (n *Network) SetFaultInjector(f FaultInjector) { n.faults = f }
 
 // New creates a network whose messages take latency to cross the wire
 // in each direction.
@@ -229,6 +270,12 @@ type Conn struct {
 	peer      *Conn
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// faultMu guards held, the parking slot a Hold verdict reorders
+	// messages through. Both are touched only when a fault injector is
+	// installed.
+	faultMu sync.Mutex
+	held    *message
 }
 
 func newPair(n *Network) (a, b *Conn) {
@@ -257,6 +304,14 @@ func (c *Conn) Send(data []byte) error {
 // zero-copy handoff the fleet dispatcher's proxy pumps use. On error
 // the caller keeps ownership.
 func (c *Conn) SendOwned(data []byte) error {
+	if f := c.net.faults; f != nil {
+		return c.sendFaulty(f, data)
+	}
+	return c.sendRaw(data, 0)
+}
+
+// sendRaw performs the undisturbed send with extra added latency.
+func (c *Conn) sendRaw(data []byte, extra time.Duration) error {
 	select {
 	case <-c.closed:
 		return fmt.Errorf("send: %w", ErrClosed)
@@ -264,13 +319,98 @@ func (c *Conn) SendOwned(data []byte) error {
 		return fmt.Errorf("send: peer: %w", ErrClosed)
 	default:
 	}
-	msg := message{data: data, readyAt: time.Now().Add(c.net.latency)}
+	return c.deliver(message{data: data, readyAt: time.Now().Add(c.net.latency + extra)})
+}
+
+// deliver enqueues a ready message at the peer.
+func (c *Conn) deliver(msg message) error {
 	select {
 	case c.peer.in <- msg:
 		return nil
 	case <-c.peer.closed:
 		return fmt.Errorf("send: peer: %w", ErrClosed)
 	}
+}
+
+// sendFaulty is the injected-fault send path: it asks the injector for
+// a verdict and applies drop/delay/truncate/hold before (or instead of)
+// delivery. Ownership follows SendOwned's contract — on a nil return
+// the wire owns data, even if the verdict destroyed it. A dead
+// connection fails before any verdict is drawn, so a Hold or Drop can
+// never make a send on a closed endpoint look delivered.
+func (c *Conn) sendFaulty(f FaultInjector, data []byte) error {
+	select {
+	case <-c.closed:
+		return fmt.Errorf("send: %w", ErrClosed)
+	case <-c.peer.closed:
+		return fmt.Errorf("send: peer: %w", ErrClosed)
+	default:
+	}
+	v := f.FaultFor(len(data))
+	if v.Drop {
+		// Link failure: the message is lost with the connection. The
+		// receiver drains anything already in flight and then observes
+		// end of stream; the sender's next operation fails.
+		PutBuffer(data)
+		_ = c.Close()
+		return nil
+	}
+	if v.TruncateTo > 0 && v.TruncateTo < len(data) {
+		data = data[:v.TruncateTo]
+	}
+	if v.Hold > 0 {
+		msg := &message{data: data, readyAt: time.Now().Add(c.net.latency + v.Delay)}
+		c.faultMu.Lock()
+		prev := c.held
+		c.held = msg
+		c.faultMu.Unlock()
+		time.AfterFunc(v.Hold, func() { c.releaseHeld(msg) })
+		if prev != nil {
+			// Two consecutive holds: release the earlier message now, so
+			// a message is reordered past at most one successor.
+			c.deliverHeld(*prev)
+		}
+		return nil
+	}
+	if err := c.sendRaw(data, v.Delay); err != nil {
+		return err
+	}
+	// The successor is on the wire; release any held predecessor after
+	// it — the reorder.
+	c.faultMu.Lock()
+	prev := c.held
+	c.held = nil
+	c.faultMu.Unlock()
+	if prev != nil {
+		c.deliverHeld(*prev)
+	}
+	return nil
+}
+
+// deliverHeld releases a parked message without ever blocking: Close
+// runs it under callers' locks (the monitor kernel tears descriptors
+// down holding its mutex), so a full peer backlog must lose the
+// message — as a congested link would — rather than wedge the caller.
+func (c *Conn) deliverHeld(msg message) {
+	select {
+	case c.peer.in <- msg:
+	default:
+		PutBuffer(msg.data)
+	}
+}
+
+// releaseHeld delivers msg if it is still the parked message — the
+// hold timer's path; losing the race to a successor send or a close
+// (which already released it) is a no-op.
+func (c *Conn) releaseHeld(msg *message) {
+	c.faultMu.Lock()
+	if c.held != msg {
+		c.faultMu.Unlock()
+		return
+	}
+	c.held = nil
+	c.faultMu.Unlock()
+	c.deliverHeld(*msg)
 }
 
 // Recv blocks for the next message. It returns (nil, nil) on orderly
@@ -305,8 +445,20 @@ func (c *Conn) waitWire(msg message) {
 }
 
 // Close shuts the endpoint down. Peer reads observe end of stream
-// after draining in-flight messages.
+// after draining in-flight messages. A message still held for
+// reordering is released first (it had already entered the wire).
 func (c *Conn) Close() error {
-	c.closeOnce.Do(func() { close(c.closed) })
+	c.closeOnce.Do(func() {
+		if c.net.faults != nil {
+			c.faultMu.Lock()
+			prev := c.held
+			c.held = nil
+			c.faultMu.Unlock()
+			if prev != nil {
+				c.deliverHeld(*prev)
+			}
+		}
+		close(c.closed)
+	})
 	return nil
 }

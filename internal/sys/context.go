@@ -14,6 +14,12 @@ import (
 // propagate it so the variant unwinds promptly.
 var ErrKilled = errors.New("sys: variant killed by monitor")
 
+// ErrCrashed is returned by syscall wrappers after a chaos-injected
+// variant crash. Unlike ErrKilled it is a variant fault: the monitor
+// treats the unwinding variant as a crashed process and raises an
+// alarm if its siblings are still healthy.
+var ErrCrashed = errors.New("sys: variant crashed (injected fault)")
+
 // Invoker executes one system call on behalf of a variant. The monitor
 // kernel provides the implementation; programs never construct one.
 type Invoker func(Call) Reply
@@ -64,6 +70,7 @@ type Context struct {
 
 	invoke  Invoker
 	exited  bool
+	crashed bool
 	scratch vmem.Addr
 	scrCap  uint32
 
@@ -88,8 +95,16 @@ func (c *Context) Exited() bool { return c.exited }
 
 // Syscall issues a raw system call.
 func (c *Context) Syscall(call Call) (word.Word, error) {
+	if c.crashed {
+		// A crashed variant stays dead: nothing it does reaches the
+		// kernel anymore.
+		return 0, fmt.Errorf("%s: %w", call.Num, ErrCrashed)
+	}
 	r := c.invoke(call)
 	switch {
+	case r.Crashed:
+		c.crashed = true
+		return r.Val, fmt.Errorf("%s: %w", call.Num, ErrCrashed)
 	case r.Killed:
 		return r.Val, fmt.Errorf("%s: %w", call.Num, ErrKilled)
 	case r.Errno != nil:

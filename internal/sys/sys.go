@@ -247,6 +247,12 @@ type Reply struct {
 	// Killed reports that the monitor raised an alarm and terminated
 	// the group; the variant must unwind immediately.
 	Killed bool
+	// Crashed reports an injected variant crash (chaos fault layer):
+	// the syscall never reached the rendezvous, and every further
+	// syscall from this variant fails the same way — the analogue of a
+	// process dying mid-request. The monitor observes the variant's
+	// death exactly as it would a real fault.
+	Crashed bool
 }
 
 // Standard file descriptors.

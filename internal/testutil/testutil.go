@@ -1,0 +1,70 @@
+// Package testutil holds the shared test helpers that were previously
+// duplicated across the nvkernel, fleet and harness test suites: the
+// goroutine-leak watcher around kernel drain paths and the
+// deadline-polling loops that wait for asynchronous recovery
+// (quarantine, replacement, detection counters) to settle.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutines polls until the process goroutine count drops to at
+// most limit, returning the last observed count. It yields and sleeps
+// between probes so exiting goroutines get scheduled; the bound makes
+// a genuine leak fail fast instead of hanging the test.
+func WaitGoroutines(limit int) int {
+	var n int
+	for i := 0; i < 400; i++ {
+		runtime.Gosched()
+		n = runtime.NumGoroutine()
+		if n <= limit {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n
+}
+
+// CheckNoGoroutineLeak fails t when the goroutine count does not
+// settle back to before+slack — the leak check every kernel-drain and
+// group-teardown regression test runs. slack absorbs runtime
+// background goroutines; 2 is the conventional allowance.
+func CheckNoGoroutineLeak(t testing.TB, before, slack int) {
+	t.Helper()
+	if got := WaitGoroutines(before + slack); got > before+slack {
+		t.Errorf("goroutine leak: %d goroutines, want <= %d", got, before+slack)
+	}
+}
+
+// Poll waits for cond to hold, checking every 200µs, and reports
+// whether it held before timeout. It never fails the test, so it is
+// safe to call off the test goroutine (attacker/observer goroutines in
+// race tests).
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Eventually is Poll that fails the test on timeout. cond may drive
+// work (e.g. issue trigger requests) and return whether the awaited
+// state has been reached. Must be called from the test goroutine.
+// args are evaluated eagerly, before the wait — for a failure message
+// that must snapshot state at timeout, use Poll and format in the
+// caller's Fatalf instead.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("condition not met within "+timeout.String()+": "+format, args...)
+	}
+}
