@@ -18,6 +18,7 @@ import (
 	"nvariant/internal/httpd"
 	"nvariant/internal/isa"
 	"nvariant/internal/nvkernel"
+	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
 	"nvariant/internal/simnet"
 	"nvariant/internal/sys"
@@ -374,8 +375,11 @@ func BenchmarkAblationSyscallBoundary(b *testing.B) { benchRequestCost(b, true) 
 // BenchmarkAblationRendezvous measures raw monitor rendezvous cost per
 // syscall as group size grows. Like benchDetectionCalls, group startup
 // runs off the clock behind a warmup gate so only steady-state
-// rendezvous are timed.
+// rendezvous are timed. The kernel runs fully instrumented (obs
+// metrics attached) so the 0 allocs/op gate proves the ops surface
+// adds no allocation to the hot path.
 func BenchmarkAblationRendezvous(b *testing.B) {
+	reg := obs.NewRegistry()
 	for _, n := range []int{1, 2, 3, 4, 5} {
 		n := n
 		b.Run(fmt.Sprintf("variants-%d", n), func(b *testing.B) {
@@ -413,7 +417,9 @@ func BenchmarkAblationRendezvous(b *testing.B) {
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
-				res, runErr = nvkernel.Run(world, simnet.New(0), progs, nvkernel.WithUIDFuncs(funcs...))
+				res, runErr = nvkernel.Run(world, simnet.New(0), progs,
+					nvkernel.WithUIDFuncs(funcs...),
+					nvkernel.WithMetrics(nvkernel.NewMetrics(reg)))
 			}()
 			warm.Wait()
 			b.ResetTimer()
@@ -484,9 +490,10 @@ func benchFleetSaturated(b *testing.B, groups, engines int) {
 	b.Helper()
 	serverOpts := httpd.DefaultOptions()
 	serverOpts.WorkFactor = 400
+	reg := obs.NewRegistry()
 	var totalKBps, totalMs float64
 	for i := 0; i < b.N; i++ {
-		f, err := fleet.New(fleet.Options{Groups: groups, Server: serverOpts})
+		f, err := fleet.New(fleet.Options{Groups: groups, Server: serverOpts, Obs: reg})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -545,9 +552,10 @@ func BenchmarkFleetUnderAttack(b *testing.B) {
 
 // BenchmarkFleetDispatchOverhead measures the per-request cost the
 // dispatcher adds over a directly-dialed group (pool of one, so the
-// difference is pure proxy overhead).
+// difference is pure proxy overhead). The fleet runs instrumented so
+// the allocs/op gate proves counting dispatches stays allocation-free.
 func BenchmarkFleetDispatchOverhead(b *testing.B) {
-	f, err := fleet.New(fleet.Options{Groups: 1})
+	f, err := fleet.New(fleet.Options{Groups: 1, Obs: obs.NewRegistry()})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"nvariant/internal/attack"
 	"nvariant/internal/chaos"
+	"nvariant/internal/obs"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 		noSweep   = flag.Bool("no-bytesweep", false, "skip the word-level mask-byte brute force")
 		check     = flag.Bool("check", false, "exit non-zero if the matrix violates the detection / false-alarm contract")
 		human     = flag.Bool("v", false, "also print the human-readable summary to stderr")
+		opsAddr   = flag.String("ops", "", "serve /metrics and pprof on this host address while the campaign runs (never alters the JSON)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,17 @@ func run() error {
 	}
 	if *noSweep {
 		cfg.ByteSweep = false
+	}
+
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(*opsAddr, reg, nil)
+		if err != nil {
+			return fmt.Errorf("-ops: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: ops server on http://%s (/metrics, /debug/pprof)\n", srv.Addr)
+		cfg.Obs = reg
 	}
 
 	res, err := chaos.Run(cfg)

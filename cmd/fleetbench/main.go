@@ -24,11 +24,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nvariant/internal/experiments"
 	"nvariant/internal/fleet"
 	"nvariant/internal/httpd"
+	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
 	"nvariant/internal/webbench"
 )
@@ -50,6 +52,23 @@ type cell struct {
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
 	Errors   int     `json:"errors"`
+}
+
+// auditSwitch adapts the ops server's audit endpoint to a sweep that
+// retires one fleet per cell: it always tails the most recent fleet's
+// recovery log.
+type auditSwitch struct {
+	cur atomic.Pointer[fleet.AuditLog]
+}
+
+func (a *auditSwitch) set(l *fleet.AuditLog) { a.cur.Store(l) }
+
+func (a *auditSwitch) TailNDJSON(since, max int) ([]byte, int, error) {
+	l := a.cur.Load()
+	if l == nil {
+		return nil, since, fmt.Errorf("no fleet running yet")
+	}
+	return l.TailNDJSON(since, max)
 }
 
 // report is the -json document (the CI perf-trajectory artifact).
@@ -76,6 +95,8 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit the sweep as JSON on stdout")
 	attackMode := flag.Bool("attack", false, "run the fleet-under-attack scenario instead of the sweep")
 	probes := flag.Int("probes", 5, "attack probes in -attack mode")
+	opsAddr := flag.String("ops", "", "serve /metrics, /audit and pprof on this host address (e.g. 127.0.0.1:9090)")
+	linger := flag.Duration("linger", 0, "after the sweep, keep an instrumented fleet under trickle load for this long (requires -ops)")
 	flag.Parse()
 
 	policy, err := parsePolicy(*policyName)
@@ -93,9 +114,29 @@ func run() error {
 		}
 	}
 
+	var (
+		reg   *obs.Registry
+		audit *auditSwitch
+	)
+	if *opsAddr != "" {
+		reg = obs.NewRegistry()
+		audit = &auditSwitch{}
+		srv, err := obs.StartServer(*opsAddr, reg, audit)
+		if err != nil {
+			return fmt.Errorf("-ops: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fleetbench: ops server on http://%s (/metrics, /audit, /debug/pprof)\n", srv.Addr)
+	} else if *linger > 0 {
+		return fmt.Errorf("-linger requires -ops")
+	}
+
 	if *attackMode {
 		if *jsonOut {
 			return fmt.Errorf("-json applies to the scaling sweep, not -attack")
+		}
+		if *opsAddr != "" {
+			return fmt.Errorf("-ops applies to the scaling sweep, not -attack")
 		}
 		opts := experiments.DefaultFleetAttackOptions()
 		// -pools/-engines are sweep lists; the attack scenario runs one
@@ -150,6 +191,7 @@ func run() error {
 		MaxVariants: maxVariants,
 		Stack:       stack,
 		Workers:     *workers,
+		Obs:         reg,
 	}
 
 	rep := report{
@@ -168,7 +210,7 @@ func run() error {
 	}
 	for _, groups := range poolSizes {
 		for _, eng := range engineCounts {
-			m, err := measure(groups, eng, *requests, fleetOpts)
+			m, err := measure(groups, eng, *requests, fleetOpts, audit)
 			if err != nil {
 				return fmt.Errorf("pool %d engines %d: %w", groups, eng, err)
 			}
@@ -189,17 +231,52 @@ func run() error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	if *linger > 0 {
+		return lingerFleet(poolSizes[len(poolSizes)-1], *linger, fleetOpts, audit)
 	}
 	return nil
 }
 
+// lingerFleet keeps one instrumented fleet alive under a trickle of
+// benign load so the ops endpoints can be scraped live (the CI
+// ops-smoke job polls /metrics against this window).
+func lingerFleet(groups int, d time.Duration, opts fleet.Options, audit *auditSwitch) error {
+	opts.Groups = groups
+	f, err := fleet.New(opts)
+	if err != nil {
+		return err
+	}
+	if audit != nil {
+		audit.set(f.Audit())
+	}
+	fmt.Fprintf(os.Stderr, "fleetbench: lingering %v with a %d-group fleet under trickle load\n", d, groups)
+	client := f.Client()
+	req := httpd.AppendRequest(nil, "/index.html")
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if _, _, err := client.Fetch(req); err != nil {
+			_, _ = f.Stop()
+			return fmt.Errorf("linger load: %w", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, err = f.Stop()
+	return err
+}
+
 // measure runs one cell of the sweep on a fresh fleet.
-func measure(groups, engines, requests int, opts fleet.Options) (webbench.Metrics, error) {
+func measure(groups, engines, requests int, opts fleet.Options, audit *auditSwitch) (webbench.Metrics, error) {
 	opts.Groups = groups
 	f, err := fleet.New(opts)
 	if err != nil {
 		return webbench.Metrics{}, err
+	}
+	if audit != nil {
+		audit.set(f.Audit())
 	}
 	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{
 		Engines:           engines,

@@ -1,0 +1,138 @@
+// Command opsd demonstrates the ops surface end to end: it deploys an
+// instrumented N-variant fleet, keeps it under light benign load, and
+// serves /metrics (Prometheus text), /audit (recovery-log NDJSON) and
+// /debug/pprof on a loopback address until -duration elapses or the
+// process is interrupted.
+//
+// It doubles as the exposition-format linter the CI ops-smoke job
+// uses: -lint checks a scraped /metrics payload for well-formedness,
+// and -require asserts the metric families that must be present.
+//
+// Usage:
+//
+//	opsd                                  # fleet + ops server on 127.0.0.1:9090
+//	opsd -addr 127.0.0.1:0 -duration 30s  # ephemeral port, bounded run
+//	curl -s localhost:9090/metrics | opsd -lint
+//	opsd -lint metrics.txt -require nvk_syscalls_total,fleet_quarantines_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"nvariant/internal/fleet"
+	"nvariant/internal/httpd"
+	"nvariant/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "opsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9090", "host address for the ops server")
+	groups := flag.Int("groups", 2, "fleet pool size")
+	variants := flag.Int("variants", 2, "variants per group")
+	workers := flag.Int("workers", 0, "per-group prefork worker lanes (0 = serial)")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	lintMode := flag.Bool("lint", false, "lint a Prometheus exposition payload (from the file argument or stdin) instead of serving")
+	require := flag.String("require", "", "with -lint: comma-separated metric families that must be present")
+	flag.Parse()
+
+	if *lintMode {
+		return lint(flag.Arg(0), *require)
+	}
+
+	reg := obs.NewRegistry()
+	f, err := fleet.New(fleet.Options{
+		Groups:   *groups,
+		Variants: *variants,
+		Workers:  *workers,
+		Server:   httpd.DefaultOptions(),
+		Obs:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = f.Stop() }()
+
+	srv, err := obs.StartServer(*addr, reg, f.Audit())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "opsd: %d-group fleet (N=%d, W=%d) up; ops on http://%s\n",
+		*groups, *variants, *workers, srv.Addr)
+	fmt.Fprintf(os.Stderr, "opsd: try  curl -s http://%s/metrics  and  curl -s http://%s/audit\n",
+		srv.Addr, srv.Addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+
+	// Trickle benign load so every layer's metrics move while the
+	// server is scrapeable.
+	client := f.Client()
+	req := httpd.AppendRequest(nil, "/index.html")
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Fprintln(os.Stderr, "opsd: interrupted, shutting down")
+			return nil
+		case <-deadline:
+			return nil
+		case <-tick.C:
+			if _, _, err := client.Fetch(req); err != nil {
+				return fmt.Errorf("trickle load: %w", err)
+			}
+		}
+	}
+}
+
+// lint validates a Prometheus text payload read from path (or stdin
+// when path is empty or "-") and optionally asserts required families.
+func lint(path, require string) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "" || path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	problems := obs.LintPrometheus(data)
+	if require != "" {
+		var names []string
+		for _, n := range strings.Split(require, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		problems = append(problems, obs.RequireFamilies(data, names)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "lint:", p)
+		}
+		return fmt.Errorf("%d problems", len(problems))
+	}
+	fmt.Printf("ok: %d bytes, no problems\n", len(data))
+	return nil
+}

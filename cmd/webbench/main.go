@@ -8,9 +8,11 @@
 //	webbench                  # the full Table 3 matrix
 //	webbench -config 4        # one configuration, both operating points
 //	webbench -quick           # smaller run for a fast sanity check
+//	webbench -json            # machine-readable per-cell results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +32,30 @@ func main() {
 	}
 }
 
+// jsonCell is one configuration × operating-point measurement in the
+// -json output, scrapeable alongside /metrics.
+type jsonCell struct {
+	Config   string  `json:"config"`
+	Mode     string  `json:"mode"`
+	Engines  int     `json:"engines"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	KBps     float64 `json:"kb_per_s"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+func toMs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
 func run() error {
 	configNum := flag.Int("config", 0, "run only this configuration (1..4); 0 = all")
 	quick := flag.Bool("quick", false, "smaller run sizes")
 	engines := flag.Int("engines", 15, "saturated engine count")
 	workFactor := flag.Int("work", 400, "per-request CPU work factor")
 	latency := flag.Duration("latency", time.Millisecond, "one-way wire latency")
+	jsonOut := flag.Bool("json", false, "emit per-cell JSON (throughput, percentiles, errors) instead of the table")
 	flag.Parse()
 
 	opts := experiments.DefaultTable3Options()
@@ -47,7 +67,7 @@ func run() error {
 		opts.SatRequestsPerEngine = 15
 	}
 
-	if *configNum == 0 {
+	if *configNum == 0 && !*jsonOut {
 		res, err := experiments.RunTable3(opts)
 		if err != nil {
 			return err
@@ -61,37 +81,63 @@ func run() error {
 		return nil
 	}
 
-	if *configNum < 1 || *configNum > 4 {
+	if *configNum < 0 || *configNum > 4 {
 		return fmt.Errorf("config must be 0..4, got %d", *configNum)
 	}
-	cfg := harness.Configuration(*configNum)
+	configs := []harness.Configuration{harness.Configuration(*configNum)}
+	if *configNum == 0 {
+		configs = []harness.Configuration{1, 2, 3, 4}
+	}
 	prev := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(prev)
 
 	serverOpts := httpd.Options{WorkFactor: opts.WorkFactor}
-	for _, load := range []struct {
-		name string
-		opts webbench.Options
-	}{
-		{"unsaturated", webbench.Options{Engines: 1, RequestsPerEngine: opts.UnsatRequests}},
-		{"saturated", webbench.Options{Engines: opts.SatEngines, RequestsPerEngine: opts.SatRequestsPerEngine}},
-	} {
-		h, err := harness.Start(cfg, serverOpts, opts.Latency)
-		if err != nil {
-			return err
+	var cells []jsonCell
+	for _, cfg := range configs {
+		for _, load := range []struct {
+			name string
+			opts webbench.Options
+		}{
+			{"unsaturated", webbench.Options{Engines: 1, RequestsPerEngine: opts.UnsatRequests}},
+			{"saturated", webbench.Options{Engines: opts.SatEngines, RequestsPerEngine: opts.SatRequestsPerEngine}},
+		} {
+			h, err := harness.Start(cfg, serverOpts, opts.Latency)
+			if err != nil {
+				return err
+			}
+			m, err := webbench.Run(h.Net, h.Port, load.opts)
+			if err != nil {
+				return err
+			}
+			res, err := h.Stop()
+			if err != nil {
+				return err
+			}
+			if res.Alarm != nil {
+				return fmt.Errorf("false alarm under load: %s", res.Alarm)
+			}
+			if *jsonOut {
+				cells = append(cells, jsonCell{
+					Config:   cfg.String(),
+					Mode:     load.name,
+					Engines:  load.opts.Engines,
+					Requests: m.Requests,
+					Errors:   m.Errors,
+					KBps:     m.ThroughputKBps(),
+					MeanMs:   toMs(m.MeanLatency()),
+					P50Ms:    toMs(m.P50Latency),
+					P95Ms:    toMs(m.P95Latency),
+					P99Ms:    toMs(m.P99Latency),
+				})
+			} else {
+				fmt.Printf("%s %-12s %s\n", cfg, load.name, m)
+			}
 		}
-		m, err := webbench.Run(h.Net, h.Port, load.opts)
-		if err != nil {
-			return err
-		}
-		res, err := h.Stop()
-		if err != nil {
-			return err
-		}
-		if res.Alarm != nil {
-			return fmt.Errorf("false alarm under load: %s", res.Alarm)
-		}
-		fmt.Printf("%s %-12s %s\n", cfg, load.name, m)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cells)
 	}
 	return nil
 }

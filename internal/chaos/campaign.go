@@ -25,6 +25,7 @@ import (
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
 	"nvariant/internal/nvkernel"
+	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
 	"nvariant/internal/simnet"
 	"nvariant/internal/vos"
@@ -79,6 +80,11 @@ type Config struct {
 	FleetGroups int
 	// FleetProbes is the fleet section's forge-probe count.
 	FleetProbes int
+	// Obs, when set, instruments every cell's kernel, network, server,
+	// and fleet on the registry. Metrics record wall-clock data outside
+	// the deterministic matrix: output JSON is byte-identical with and
+	// without Obs (TestCampaignInstrumentationPreservesJSON).
+	Obs *obs.Registry
 }
 
 // NoAttack is the benign scenario: a cell with no attacker, measuring
@@ -381,6 +387,9 @@ func runGroupCell(cfg Config, sc attack.Scenario, plan Plan, stack string, n, w 
 		return cell, err
 	}
 	net := simnet.New(0)
+	if cfg.Obs != nil {
+		net.SetMetrics(simnet.NewMetrics(cfg.Obs))
+	}
 	if plan.Net != nil {
 		net.SetFaultInjector(plan.Net.Injector(seed + 1))
 	}
@@ -388,9 +397,15 @@ func runGroupCell(cfg Config, sc attack.Scenario, plan Plan, stack string, n, w 
 	if plan.Kernel != nil {
 		kopts = append(kopts, nvkernel.WithFaultHook(plan.Kernel.Hook(seed+2)))
 	}
+	if cfg.Obs != nil {
+		kopts = append(kopts, nvkernel.WithMetrics(nvkernel.NewMetrics(cfg.Obs)))
+	}
 	gs, err := buildGroupSpec(stack, n, w, seed+3, kopts)
 	if err != nil {
 		return cell, err
+	}
+	if cfg.Obs != nil {
+		gs.Server.Metrics = httpd.NewMetrics(cfg.Obs)
 	}
 	h, err := harness.StartSpecOn(world, net, gs)
 	if err != nil {
@@ -537,6 +552,7 @@ func runFleetCell(cfg Config, plan Plan) (FleetCell, error) {
 		Config: harness.Config4UIDVariation,
 		Server: httpd.DefaultOptions(),
 		Seed:   seed,
+		Obs:    cfg.Obs,
 	}
 	if plan.Net != nil {
 		opts.Faults = plan.Net.Injector(seed + 1)

@@ -1,0 +1,69 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nvariant/internal/chaos"
+	"nvariant/internal/obs"
+)
+
+// TestCampaignInstrumentationPreservesJSON is the determinism contract
+// of the ops surface: attaching a live metrics registry to a campaign
+// must not change a single byte of the seeded JSON matrix. Wall-clock
+// readings (Alarm.At, metric timestamps) stay on the ops side; only
+// virtual time enters the matrix.
+func TestCampaignInstrumentationPreservesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign crossing")
+	}
+	for _, seed := range []int64{1, 7, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			plain := smallConfig(seed)
+			res1, err := chaos.Run(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j1, err := res1.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			instrumented := smallConfig(seed)
+			instrumented.Obs = obs.NewRegistry()
+			res2, err := chaos.Run(instrumented)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2, err := res2.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytesEqual(j1, j2) {
+				t.Errorf("seed %d: instrumentation changed the matrix: %s",
+					seed, firstDiff(j1, j2))
+			}
+
+			// The registry must actually have seen traffic — a silently
+			// detached registry would make the bytes-equal check vacuous.
+			if got := instrumented.Obs.Counter("nvk_syscalls_total", "", obs.L("call", "exit")).Value(); got == 0 {
+				t.Error("instrumented campaign recorded no syscalls")
+			}
+		})
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -13,43 +14,51 @@ import (
 
 // AuditEntry is one record of the fleet's recovery trail: a group left
 // the pool and what the fleet did about it. Alarm-bearing entries are
-// the detected attacks of the evaluation.
+// the detected attacks of the evaluation. Each entry carries two
+// clocks: VTime, the group's deterministic virtual time (in-matrix,
+// reproducible under a seed), and the wall-clock Time/Alarm.At pair
+// the ops surface derives alarm-latency and exposure-window
+// histograms from — wall timestamps never enter campaign JSON.
 type AuditEntry struct {
 	// Seq is the entry's position in the append-only log (from 1).
-	Seq int
-	// Time is when the fleet processed the group's exit.
-	Time time.Time
+	Seq int `json:"seq"`
+	// Time is when the fleet processed the group's exit — replacement
+	// registration time for "+replace" actions.
+	Time time.Time `json:"time"`
 	// GroupID identifies the quarantined group.
-	GroupID int
+	GroupID int `json:"group_id"`
 	// Port was the group's listening port.
-	Port uint16
+	Port uint16 `json:"port"`
 	// Config is the group's Table 3 configuration.
-	Config harness.Configuration
+	Config harness.Configuration `json:"config"`
 	// Variants is the group's process-group size N.
-	Variants int
+	Variants int `json:"variants"`
 	// R1 names the group's variant-1 effective UID reexpression
 	// function.
-	R1 string
+	R1 string `json:"r1"`
+	// VTime is the group's virtual clock at teardown — the
+	// deterministic timestamp of the exit.
+	VTime uint32 `json:"vtime"`
 	// Alarm is the monitor's divergence report (nil when the group
 	// exited without one, e.g. a variant fault with no alarm attached).
-	Alarm *nvkernel.Alarm
+	Alarm *nvkernel.Alarm `json:"alarm,omitempty"`
 	// Detail describes non-alarm exits and replacement failures.
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// Action records the recovery taken ("quarantine+replace" in the
 	// steady state; "quarantine" when no replacement was spawned).
-	Action string
+	Action string `json:"action"`
 	// ReplacementID is the fresh group's id, or -1 if none was spawned.
-	ReplacementID int
+	ReplacementID int `json:"replacement_id"`
 	// ReplacementR1 names the replacement's newly selected variant-1
 	// function (empty if none).
-	ReplacementR1 string
+	ReplacementR1 string `json:"replacement_r1,omitempty"`
 }
 
 // String renders the entry as one audit-log line.
 func (e AuditEntry) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#%d %s group=%d port=%d config=%q n=%d r1=%s",
-		e.Seq, e.Time.Format(time.RFC3339Nano), e.GroupID, e.Port, e.Config, e.Variants, e.R1)
+	fmt.Fprintf(&b, "#%d %s group=%d port=%d config=%q n=%d r1=%s vtime=%d",
+		e.Seq, e.Time.Format(time.RFC3339Nano), e.GroupID, e.Port, e.Config, e.Variants, e.R1, e.VTime)
 	if e.Alarm != nil {
 		fmt.Fprintf(&b, " alarm=%s syscall=%s variant=%d", e.Alarm.Reason, e.Alarm.Syscall, e.Alarm.Variant)
 	}
@@ -102,6 +111,34 @@ func (l *AuditLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
+}
+
+// TailNDJSON renders entries with Seq > since as newline-delimited
+// JSON, at most max entries when max > 0, returning the rendered
+// bytes and the last sequence number included (= since when nothing
+// qualified). It implements obs.AuditSource, so /audit pollers can
+// resume from their last seen entry with ?since=N.
+func (l *AuditLog) TailNDJSON(since, max int) ([]byte, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	last := since
+	var buf []byte
+	for _, e := range l.entries {
+		if e.Seq <= since {
+			continue
+		}
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, since, fmt.Errorf("audit: marshal entry %d: %w", e.Seq, err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		last = e.Seq
+		if max > 0 && last-since >= max {
+			break
+		}
+	}
+	return buf, last, nil
 }
 
 // Alarms returns only the alarm-bearing entries — the detected attacks.

@@ -1,0 +1,118 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/fleet"
+	"nvariant/internal/obs"
+	"nvariant/internal/vos"
+)
+
+// attackOnce drives one forge-UID probe through the fleet until the
+// struck group is detected, quarantined and replaced.
+func attackOnce(t *testing.T, f *fleet.Fleet) {
+	t.Helper()
+	client := f.Client()
+	if _, err := client.Raw(attack.ForgeUIDPayload(vos.Root)); err != nil {
+		t.Fatalf("overflow: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Stats().Detections == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("attack not detected")
+		}
+		_, _, _ = client.Get("/private/secret.html")
+	}
+	if err := f.AwaitReplenished(1, 2, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditTailNDJSONAndTimestamps covers the recovery log's ops
+// surface: entries stream as one JSON object per line, carry the
+// kernel's virtual-time stamp alongside the wall-clock alarm time, and
+// the since/max cursor pages without gaps.
+func TestAuditTailNDJSONAndTimestamps(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := startFleet(t, fleet.Options{Groups: 2, Obs: reg})
+	attackOnce(t, f)
+	defer func() {
+		if _, err := f.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	buf, last, err := f.Audit().TailNDJSON(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf), []byte("\n"))
+	if len(lines) != 1 || last != 1 {
+		t.Fatalf("tail = %d lines, last=%d, want 1 entry: %s", len(lines), last, buf)
+	}
+	var e struct {
+		Seq    int    `json:"seq"`
+		Time   string `json:"time"`
+		VTime  uint32 `json:"vtime"`
+		Action string `json:"action"`
+		Alarm  *struct {
+			Reason string `json:"reason"`
+			At     string `json:"at"`
+			VTime  uint32 `json:"vtime"`
+		} `json:"alarm"`
+	}
+	if err := json.Unmarshal(lines[0], &e); err != nil {
+		t.Fatalf("entry not valid JSON: %v\n%s", err, lines[0])
+	}
+	if e.Seq != 1 || e.Action != "quarantine+replace" {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.VTime == 0 {
+		t.Error("entry missing kernel virtual-time stamp")
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, e.Time); err != nil || ts.IsZero() {
+		t.Errorf("entry wall time %q: %v", e.Time, err)
+	}
+	if e.Alarm == nil {
+		t.Fatal("entry missing alarm")
+	}
+	if e.Alarm.Reason != "uid-divergence" {
+		t.Errorf("alarm reason = %q", e.Alarm.Reason)
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, e.Alarm.At); err != nil || ts.IsZero() {
+		t.Errorf("alarm raise time %q: %v", e.Alarm.At, err)
+	}
+	if e.Alarm.VTime == 0 {
+		t.Error("alarm missing virtual-time stamp")
+	}
+
+	// Paging: a cursor past the last entry yields an empty tail.
+	empty, last2, err := f.Audit().TailNDJSON(last, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 || last2 != last {
+		t.Errorf("tail past end = %q last=%d, want empty, %d", empty, last2, last)
+	}
+
+	// The detection must also be visible on the metrics side.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fleet_detections_total 1",
+		"fleet_quarantines_total 1",
+		"fleet_replacements_total 1",
+		`nvk_alarms_total{reason="uid-divergence"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -121,11 +121,22 @@ func (f *Fleet) serve(client *simnet.Conn) {
 	g, backend := f.pickAndDial()
 	if backend == nil {
 		f.dispatchErrors.Add(1)
+		if f.obs != nil {
+			f.obs.dispatchErrors.Inc()
+		}
 		return
 	}
 	f.dispatched.Add(1)
 	g.inflight.Add(1)
 	g.served.Add(1)
+	if f.obs != nil {
+		// Mirrors of the internal counters as registered series; plain
+		// atomic adds, so the instrumented dispatch path allocates
+		// nothing extra.
+		f.obs.dispatched.Inc()
+		f.obs.inflight.Add(1)
+		defer f.obs.inflight.Add(-1)
+	}
 	defer g.inflight.Add(-1)
 	defer func() { _ = backend.Close() }()
 

@@ -29,6 +29,7 @@ import (
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
 	"nvariant/internal/nvkernel"
+	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
 	"nvariant/internal/simnet"
 )
@@ -97,6 +98,11 @@ type Options struct {
 	// Kernel holds extra kernel options every spawned group (initial
 	// or replacement) is built with — e.g. a chaos fault hook.
 	Kernel []nvkernel.Option
+	// Obs, when set, instruments the whole stack under this fleet:
+	// fleet dispatch/quarantine series plus the kernel, simnet, and
+	// httpd metric sets of every group (replacements included) are
+	// registered on it. Nil runs uninstrumented.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero-valued options.
@@ -160,6 +166,9 @@ type Fleet struct {
 	dispatched     atomic.Int64
 	dispatchErrors atomic.Int64
 	wg             sync.WaitGroup
+
+	// obs is the registered metric set, nil when Options.Obs is unset.
+	obs *metrics
 }
 
 // New builds the pool, starts every group, and begins dispatching on
@@ -187,6 +196,17 @@ func New(opts Options) (*Fleet, error) {
 		audit:    newAuditLog(opts.AuditTo),
 		nextPort: opts.BasePort,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.Obs != nil {
+		// Thread the registry through every layer before the first
+		// group starts. The mutated f.opts flow to replacements too via
+		// specFor, so the whole fleet lifetime is instrumented.
+		f.obs = newMetrics(opts.Obs, f)
+		f.net.SetMetrics(simnet.NewMetrics(opts.Obs))
+		kopts := make([]nvkernel.Option, len(opts.Kernel), len(opts.Kernel)+1)
+		copy(kopts, opts.Kernel)
+		f.opts.Kernel = append(kopts, nvkernel.WithMetrics(nvkernel.NewMetrics(opts.Obs)))
+		f.opts.Server.Metrics = httpd.NewMetrics(opts.Obs)
 	}
 	if opts.Faults != nil {
 		f.net.SetFaultInjector(opts.Faults)
@@ -263,7 +283,7 @@ func (f *Fleet) spawn() (*group, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	g := &group{id: id, port: port, spec: spec, variants: variants, workers: workers, r1: r1, handle: h}
+	g := &group{id: id, port: port, spec: spec, variants: variants, workers: workers, r1: r1, handle: h, born: time.Now()}
 
 	f.mu.Lock()
 	if f.closed {
@@ -300,6 +320,9 @@ func (f *Fleet) groupExited(g *group) {
 	stopping := f.closed
 	if alarmed {
 		f.detections++
+		if f.obs != nil {
+			f.obs.detections.Inc()
+		}
 	}
 	if !stopping {
 		// During shutdown the roster is frozen so the final Stats
@@ -311,6 +334,9 @@ func (f *Fleet) groupExited(g *group) {
 		f.freePorts = append(f.freePorts, g.port)
 		if alarmed || !clean {
 			f.quarantined++
+			if f.obs != nil {
+				f.obs.quarantines.Inc()
+			}
 		}
 	}
 	f.mu.Unlock()
@@ -320,6 +346,7 @@ func (f *Fleet) groupExited(g *group) {
 			// An attack raced fleet shutdown: still record it.
 			entry := f.entryFor(g, "quarantine (fleet stopping)")
 			entry.Alarm = res.Alarm
+			entry.VTime = res.VTime
 			f.audit.append(entry)
 		}
 		return
@@ -327,6 +354,9 @@ func (f *Fleet) groupExited(g *group) {
 
 	act := "quarantine"
 	entry := f.entryFor(g, act)
+	if res != nil {
+		entry.VTime = res.VTime
+	}
 	switch {
 	case alarmed:
 		entry.Alarm = res.Alarm
@@ -348,6 +378,15 @@ func (f *Fleet) groupExited(g *group) {
 		f.mu.Lock()
 		f.replaced++
 		f.mu.Unlock()
+		if f.obs != nil {
+			f.obs.replacements.Inc()
+			if alarmed {
+				// Exposure window: the attack was detected at Alarm.At;
+				// the slot is healthy again now that the replacement is
+				// registered.
+				f.obs.exposure.Observe(time.Since(res.Alarm.At))
+			}
+		}
 		entry.Action = act + "+replace"
 		entry.ReplacementID = repl.id
 		entry.ReplacementR1 = repl.r1

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"nvariant/internal/harness"
 	"nvariant/internal/reexpress"
@@ -33,6 +34,8 @@ type group struct {
 	r1 string
 	// handle controls the running process group.
 	handle *harness.Handle
+	// born is the group's spawn time, for the group-age gauge.
+	born time.Time
 	// inflight counts connections currently proxied to the group.
 	inflight atomic.Int64
 	// served counts connections ever dispatched to the group.

@@ -1,0 +1,49 @@
+package httpd
+
+import (
+	"time"
+
+	"nvariant/internal/obs"
+)
+
+// Metrics is the server's registered metric set, shared by every
+// variant of a group via Options.Metrics. Only variant 0 records —
+// the N variants serve each request redundantly, and counting every
+// variant would multiply traffic by N. Series owned by this layer:
+//
+//	httpd_requests_total             requests that reached the parser
+//	httpd_responses_total{class=...} responses by status class
+//	httpd_service_time_seconds       recv-to-response service time
+type Metrics struct {
+	requests *obs.Counter
+	class2xx *obs.Counter
+	class4xx *obs.Counter
+	class5xx *obs.Counter
+	service  *obs.Histogram
+}
+
+// NewMetrics registers (or finds) the httpd metric set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		requests: reg.Counter("httpd_requests_total", "Requests that reached the parser."),
+		class2xx: reg.Counter("httpd_responses_total", "Responses by status class.", obs.L("class", "2xx")),
+		class4xx: reg.Counter("httpd_responses_total", "Responses by status class.", obs.L("class", "4xx")),
+		class5xx: reg.Counter("httpd_responses_total", "Responses by status class.", obs.L("class", "5xx")),
+		service: reg.Histogram("httpd_service_time_seconds",
+			"Request service time, first byte received to response sent.", nil),
+	}
+}
+
+// observe records one served request.
+func (m *Metrics) observe(code int, d time.Duration) {
+	m.requests.Inc()
+	switch {
+	case code >= 200 && code < 300:
+		m.class2xx.Inc()
+	case code >= 400 && code < 500:
+		m.class4xx.Inc()
+	case code >= 500:
+		m.class5xx.Inc()
+	}
+	m.service.Observe(d)
+}

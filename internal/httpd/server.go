@@ -90,6 +90,10 @@ type Options struct {
 	// component prefork lanes overlap even on one CPU, where
 	// WorkFactor models the component they cannot beyond GOMAXPROCS.
 	ServiceTime time.Duration
+	// Metrics is the optional server metric set (see NewMetrics). The
+	// pointer is shared by all variants of a group; only variant 0
+	// records, so series count requests once, not N times.
+	Metrics *Metrics
 }
 
 // DefaultOptions returns the stock server options.
@@ -182,6 +186,9 @@ type state struct {
 	// buffers of the request loop.
 	body []byte
 	resp []byte
+	// reqStart is the service-time clock, stamped at request receipt
+	// when metrics are active on variant 0.
+	reqStart time.Time
 }
 
 func (s *Server) serve(ctx *sys.Context) error {
@@ -409,6 +416,9 @@ func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
 	if n == 0 {
 		return false, false, nil // client closed without a request
 	}
+	if s.opts.Metrics != nil && ctx.Variant == 0 {
+		st.reqStart = time.Now()
+	}
 
 	parseLen := n
 	if parseLen > ReqBufSize {
@@ -467,7 +477,20 @@ func (s *Server) handleConn(st *state, cfd int) (served, stop bool, err error) {
 	}
 
 	st.resp = AppendResponse(st.resp[:0], code, ContentTypeFor(req.URI), body)
-	return true, false, ctx.SendBytes(cfd, st.resp)
+	err = ctx.SendBytes(cfd, st.resp)
+	if err == nil {
+		s.record(st, code)
+	}
+	return true, false, err
+}
+
+// record counts one served response. Variant 0 only — each request is
+// served redundantly by all N variants, and double counting would
+// scale every httpd series by the group width.
+func (s *Server) record(st *state, code int) {
+	if m := s.opts.Metrics; m != nil && st.ctx.Variant == 0 {
+		m.observe(code, time.Since(st.reqStart))
+	}
 }
 
 // loadDocument maps the URI to a file and reads it under the current
@@ -524,7 +547,11 @@ func (s *Server) logDenied(st *state, uri string, code int) {
 // respondError sends an error response without touching credentials.
 func (s *Server) respondError(st *state, cfd int, code int) error {
 	st.resp = AppendResponse(st.resp[:0], code, "text/html", ErrorBody(code))
-	return st.ctx.SendBytes(cfd, st.resp)
+	err := st.ctx.SendBytes(cfd, st.resp)
+	if err == nil {
+		s.record(st, code)
+	}
+	return err
 }
 
 // burnWork performs WorkFactor checksum passes over the body: the

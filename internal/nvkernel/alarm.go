@@ -1,6 +1,10 @@
 package nvkernel
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
 
 // Reason classifies why the monitor raised an alarm.
 type Reason int
@@ -54,25 +58,39 @@ func (r Reason) String() string {
 	}
 }
 
+// MarshalJSON renders the reason as its name, so audit NDJSON carries
+// "uid-divergence" rather than an enum ordinal.
+func (r Reason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
 // Alarm is the monitor's report of a detected divergence: in the
 // paper's threat model, an alarm is a detected attack (any divergence
 // on identical inputs indicates compromise, §1).
 type Alarm struct {
 	// Reason classifies the divergence.
-	Reason Reason
+	Reason Reason `json:"reason"`
 	// Syscall names the rendezvous at which the divergence was seen
 	// (its String is "unknown" for timeouts before arrival).
-	Syscall string
+	Syscall string `json:"syscall"`
 	// Seq is the rendezvous sequence number within the worker lane.
-	Seq int
+	Seq int `json:"seq"`
 	// Variant is the offending variant when identifiable, else -1.
-	Variant int
+	Variant int `json:"variant"`
 	// Worker is the worker lane the divergence was seen in (0 for the
 	// primary lane / serial groups). The alarm still kills the whole
 	// group; Worker records where the corruption surfaced.
-	Worker int
+	Worker int `json:"worker"`
 	// Detail is a human-readable description.
-	Detail string
+	Detail string `json:"detail"`
+	// At is the wall-clock raise time. It exists for the ops surface
+	// (alarm latency, audit tail) and never enters campaign JSON —
+	// seeded matrices stay byte-identical; pair with VTime inside the
+	// deterministic world.
+	At time.Time `json:"at"`
+	// VTime is the group's virtual clock at the raise — the
+	// deterministic timestamp.
+	VTime uint32 `json:"vtime"`
 }
 
 // Error renders the alarm; Alarm implements error so kernel internals

@@ -255,7 +255,9 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		return l.execSend(canon, msgs, seq, spec)
 
 	case sys.Time:
-		replyAll(msgs, sys.Reply{Val: word.Word(s.vtime.Add(1))})
+		// The clock already ticked for this rendezvous, so back-to-back
+		// Time calls still observe strictly increasing values.
+		replyAll(msgs, sys.Reply{Val: word.Word(s.vtime.Load())})
 		return false
 
 	case sys.Prefork:

@@ -56,6 +56,10 @@ type Result struct {
 	// Workers is the number of worker lanes the group ran (1 unless the
 	// program preforked).
 	Workers int
+	// VTime is the group's virtual clock at teardown — the
+	// deterministic in-matrix timestamp audit consumers pair with the
+	// out-of-matrix wall clock.
+	VTime uint32
 	// VariantErrs holds each variant's terminal error (nil for clean
 	// returns and monitor kills), lane-major: lane 0's variants first.
 	VariantErrs []error
@@ -238,6 +242,7 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		Stdout:      s.stdout,
 		Stderr:      s.stderr,
 		Workers:     len(s.lanes),
+		VTime:       s.vtime.Load(),
 		VariantErrs: make([]error, 0, n*len(s.lanes)),
 	}
 	for _, l := range s.lanes {
@@ -294,6 +299,10 @@ type system struct {
 	status      word.Word
 	preforked   bool
 
+	// vtime is the group's virtual clock: it ticks once per completed
+	// rendezvous across all lanes, so every audit stamp (Alarm.VTime,
+	// Result.VTime) and Time syscall reply is a position on the same
+	// monotonic, wall-clock-free timeline.
 	vtime atomic.Uint32
 	score atomic.Int64
 
@@ -476,6 +485,20 @@ func (l *lane) monitor() {
 		}
 
 		l.rendezvous++
+		s.vtime.Add(1)
+		if m := s.cfg.Metrics; m != nil {
+			// Timed rendezvous: two clock reads and a few atomic adds —
+			// the loop stays allocation-free (proven by
+			// TestInstrumentedRendezvousZeroAlloc and the bench gate).
+			start := time.Now()
+			num := l.msgs[0].call.Num
+			stop := l.dispatch(l.msgs)
+			m.observeRendezvous(num, time.Since(start))
+			if stop {
+				return
+			}
+			continue
+		}
 		if l.dispatch(l.msgs) {
 			return
 		}
@@ -502,9 +525,16 @@ func (l *lane) killGathered() {
 func (l *lane) raise(a *Alarm, pending []*callMsg) {
 	s := l.sys
 	a.Worker = l.id
+	// Stamped unconditionally — with or without metrics attached the
+	// run behaves identically, which is what keeps seeded campaign
+	// output byte-identical when instrumentation is enabled.
+	a.At = time.Now()
+	a.VTime = s.vtime.Load()
+	won := false
 	s.mu.Lock()
 	if s.alarm == nil {
 		s.alarm = a
+		won = true
 	}
 	s.mu.Unlock()
 	for _, m := range pending {
@@ -513,6 +543,11 @@ func (l *lane) raise(a *Alarm, pending []*callMsg) {
 		}
 	}
 	s.kill()
+	if won {
+		if m := s.cfg.Metrics; m != nil {
+			m.observeAlarm(a.Reason, time.Since(a.At))
+		}
+	}
 }
 
 // kill signals the group-wide teardown and releases every descriptor.

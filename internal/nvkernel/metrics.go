@@ -1,0 +1,74 @@
+package nvkernel
+
+import (
+	"time"
+
+	"nvariant/internal/obs"
+	"nvariant/internal/sys"
+)
+
+// Metrics is the kernel's registered metric set. Attach one to a run
+// with WithMetrics; updates are single atomic operations so the
+// instrumented rendezvous stays 0 allocs/op. All series are owned by
+// this layer (DESIGN.md "Observability"):
+//
+//	nvk_rendezvous_latency_seconds  histogram, one observation per rendezvous
+//	nvk_syscalls_total{call=...}    counter per syscall number
+//	nvk_alarms_total{reason=...}    counter per alarm reason (winning alarms only)
+//	nvk_alarm_kill_latency_seconds  histogram, alarm raise → group killed
+type Metrics struct {
+	rendezvous *obs.Histogram
+	alarmKill  *obs.Histogram
+	syscalls   []*obs.Counter // indexed by sys.Num
+	alarms     []*obs.Counter // indexed by Reason
+}
+
+// NewMetrics registers (or finds) the kernel metric set on reg.
+// Registration is idempotent, so every kernel in a fleet or campaign
+// aggregates into the same series.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		rendezvous: reg.Histogram("nvk_rendezvous_latency_seconds",
+			"Monitor-side latency of one syscall rendezvous (gather to reply).", nil),
+		alarmKill: reg.Histogram("nvk_alarm_kill_latency_seconds",
+			"Latency from alarm raise to group kill signalled.", nil),
+	}
+	// The syscall table is contiguous from 1; size the dense counter
+	// slice off it so Num indexes directly.
+	for n := sys.Num(1); ; n++ {
+		spec, ok := sys.SpecFor(n)
+		if !ok {
+			break
+		}
+		m.syscalls = append(m.syscalls, nil)
+		m.syscalls[n-1] = reg.Counter("nvk_syscalls_total",
+			"Rendezvous completed, by syscall.", obs.L("call", spec.Name))
+	}
+	for r := Reason(1); r <= ReasonTimeout; r++ {
+		m.alarms = append(m.alarms, reg.Counter("nvk_alarms_total",
+			"Alarms raised (first alarm per group), by reason.", obs.L("reason", r.String())))
+	}
+	return m
+}
+
+// observeRendezvous records one completed rendezvous.
+func (m *Metrics) observeRendezvous(num sys.Num, d time.Duration) {
+	m.rendezvous.Observe(d)
+	if i := int(num) - 1; i >= 0 && i < len(m.syscalls) {
+		m.syscalls[i].Inc()
+	}
+}
+
+// RendezvousCount reports how many rendezvous the latency histogram
+// has observed — a cheap way for tests to assert instrumentation is
+// actually attached.
+func (m *Metrics) RendezvousCount() uint64 { return m.rendezvous.Count() }
+
+// observeAlarm records the group's winning alarm and its raise-to-kill
+// latency.
+func (m *Metrics) observeAlarm(r Reason, killLatency time.Duration) {
+	if i := int(r) - 1; i >= 0 && i < len(m.alarms) {
+		m.alarms[i].Inc()
+	}
+	m.alarmKill.Observe(killLatency)
+}

@@ -54,6 +54,9 @@ type Config struct {
 	Spec *reexpress.Spec
 	// Faults is the optional chaos fault hook (nil = no injection).
 	Faults FaultHook
+	// Metrics is the optional kernel metric set (nil = uninstrumented;
+	// the disabled path costs one nil check per rendezvous).
+	Metrics *Metrics
 }
 
 // Option configures Run.
@@ -143,6 +146,12 @@ func WithTimeout(d time.Duration) Option {
 // syscall boundary.
 func WithFaultHook(h FaultHook) Option {
 	return func(c *Config) { c.Faults = h }
+}
+
+// WithMetrics attaches a kernel metric set (see NewMetrics) to the
+// group: per-rendezvous latency, syscall counts, and alarm latency.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
 }
 
 // WithCred sets the group's initial credentials (default root).

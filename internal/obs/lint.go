@@ -1,0 +1,162 @@
+// A small expfmt-style checker for Prometheus text exposition, used
+// by cmd/opsd -lint and the CI ops-smoke job. It is intentionally a
+// subset of the real format rules: enough to catch a malformed or
+// incomplete scrape, not a full parser.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus checks text exposition data and returns a list of
+// problems (empty when clean). Checks: comment lines are well-formed
+// HELP/TYPE, TYPE appears at most once per family and before its
+// samples, every sample belongs to a declared family (histogram
+// samples may use the _bucket/_sum/_count suffixes), sample values
+// parse as numbers, and each histogram has a le="+Inf" bucket.
+func LintPrometheus(data []byte) []string {
+	var problems []string
+	types := make(map[string]string) // family -> type
+	sampled := make(map[string]bool) // family has samples
+	infSeen := make(map[string]bool) // histogram family has +Inf bucket
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				problems = append(problems, fmt.Sprintf("line %d: malformed comment %q", lineNo, line))
+				continue
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if len(fields) < 4 {
+					problems = append(problems, fmt.Sprintf("line %d: TYPE %s missing type", lineNo, name))
+					continue
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					problems = append(problems, fmt.Sprintf("line %d: TYPE %s has unknown type %q", lineNo, name, typ))
+				}
+				if _, dup := types[name]; dup {
+					problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+				}
+				if sampled[name] {
+					problems = append(problems, fmt.Sprintf("line %d: TYPE %s after its samples", lineNo, name))
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, ok := splitSample(line)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("line %d: malformed sample %q", lineNo, line))
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %s value %q is not a number", lineNo, name, value))
+		}
+		fam, suffix := familyOf(name, types)
+		if _, declared := types[fam]; !declared {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no TYPE declaration", lineNo, name))
+			continue
+		}
+		sampled[fam] = true
+		if types[fam] == "histogram" {
+			if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+				infSeen[fam] = true
+			}
+			if suffix == "" {
+				problems = append(problems, fmt.Sprintf("line %d: histogram %s sampled without _bucket/_sum/_count suffix", lineNo, fam))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("scan: %v", err))
+	}
+	for fam, typ := range types {
+		if typ == "histogram" && sampled[fam] && !infSeen[fam] {
+			problems = append(problems, fmt.Sprintf("histogram %s has no le=\"+Inf\" bucket", fam))
+		}
+	}
+	return problems
+}
+
+// RequireFamilies returns a problem per requested family that has no
+// TYPE declaration in the exposition data.
+func RequireFamilies(data []byte, names []string) []string {
+	declared := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.SplitN(sc.Text(), " ", 4)
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+			declared[fields[2]] = true
+		}
+	}
+	var problems []string
+	for _, name := range names {
+		if name == "" {
+			continue
+		}
+		if !declared[name] {
+			problems = append(problems, fmt.Sprintf("required family %s not present", name))
+		}
+	}
+	return problems
+}
+
+// splitSample cuts "name{labels} value" / "name value" into parts.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name = line[:i]
+		labels = line[i : j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", "", "", false
+		}
+		name = line[:i]
+		rest = strings.TrimSpace(line[i+1:])
+	}
+	if name == "" || rest == "" {
+		return "", "", "", false
+	}
+	// A timestamp may follow the value; take the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	return name, labels, rest, true
+}
+
+// familyOf strips a histogram suffix when the base family is declared
+// as a histogram.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			base := strings.TrimSuffix(name, s)
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}

@@ -1,0 +1,98 @@
+// Host-side ops server: /metrics (Prometheus text), /audit (fleet
+// audit-log tail as NDJSON), and net/http/pprof. This is operator
+// tooling on a real loopback socket — deliberately outside the
+// deterministic simnet world, so nothing here may feed back into it.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// AuditSource is anything that can render an audit-log tail as
+// newline-delimited JSON. fleet.AuditLog implements it. TailNDJSON
+// returns entries with sequence numbers strictly greater than since
+// (at most max when max > 0) plus the last sequence number rendered,
+// so a poller can resume with ?since=<last>.
+type AuditSource interface {
+	TailNDJSON(since, max int) ([]byte, int, error)
+}
+
+// NewHandler returns the ops mux: /metrics, /audit, /debug/pprof/*,
+// and an index on /. audit may be nil (campaign runs without a
+// fleet); /audit then answers 503.
+func NewHandler(reg *Registry, audit AuditSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
+		if audit == nil {
+			http.Error(w, "no audit source attached", http.StatusServiceUnavailable)
+			return
+		}
+		since := queryInt(req, "since", 0)
+		max := queryInt(req, "n", 0)
+		data, last, err := audit.TailNDJSON(since, max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Audit-Last-Seq", strconv.Itoa(last))
+		w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "nvariant ops\n\n/metrics\n/audit?since=N&n=M\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running ops endpoint.
+type Server struct {
+	// Addr is the bound address (useful when the requested port was 0).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr and serves the ops mux in the background.
+func StartServer(addr string, reg *Registry, audit AuditSource) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(reg, audit), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func queryInt(req *http.Request, key string, def int) int {
+	v := req.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

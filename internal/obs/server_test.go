@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeAudit serves a fixed NDJSON tail, recording the last query.
+type fakeAudit struct {
+	since, max int
+}
+
+func (f *fakeAudit) TailNDJSON(since, max int) ([]byte, int, error) {
+	f.since, f.max = since, max
+	var buf bytes.Buffer
+	last := since
+	for i := 0; i < 2; i++ {
+		last++
+		fmt.Fprintf(&buf, `{"seq":%d,"action":"replaced"}`+"\n", last)
+	}
+	return buf.Bytes(), last, nil
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "help").Add(9)
+	srv := httptest.NewServer(NewHandler(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "requests_total 9") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+	if problems := LintPrometheus(body); len(problems) > 0 {
+		t.Errorf("served payload fails lint: %v", problems)
+	}
+}
+
+func TestHandlerAuditEndpoint(t *testing.T) {
+	fa := &fakeAudit{}
+	srv := httptest.NewServer(NewHandler(NewRegistry(), fa))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/audit?since=3&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if fa.since != 3 || fa.max != 2 {
+		t.Errorf("query passed as since=%d max=%d, want 3, 2", fa.since, fa.max)
+	}
+	if got := resp.Header.Get("X-Audit-Last-Seq"); got != "5" {
+		t.Errorf("X-Audit-Last-Seq = %q, want 5", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2: %q", len(lines), body)
+	}
+	for _, ln := range lines {
+		var e struct {
+			Seq    int    `json:"seq"`
+			Action string `json:"action"`
+		}
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Errorf("line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestHandlerAuditUnavailableWithoutSource(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStartServerBindsAndServes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "help").Inc()
+	srv, err := StartServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}

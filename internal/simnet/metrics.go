@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"sync/atomic"
+
+	"nvariant/internal/obs"
+)
+
+// Buffer-pool traffic is counted unconditionally in package atomics
+// (the pool is package-global, so there is no per-network place to
+// hang a nil check) and surfaced as CounterFuncs — two uncontended
+// atomic adds per message, nothing on the path when sampling.
+var (
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// Metrics is the network data plane's registered metric set. Install
+// on a Network with SetMetrics; updates are atomic adds gated behind
+// one nil check per send. Series owned by this layer:
+//
+//	simnet_messages_total            messages entering the wire
+//	simnet_bytes_total               payload bytes entering the wire
+//	simnet_faults_total{verdict=...} injected drop/delay/truncate/hold verdicts
+//	simnet_buffer_pool_hits_total    GetBuffer served from the free list
+//	simnet_buffer_pool_misses_total  GetBuffer had to allocate
+type Metrics struct {
+	messages *obs.Counter
+	bytes    *obs.Counter
+	drops    *obs.Counter
+	delays   *obs.Counter
+	truncs   *obs.Counter
+	holds    *obs.Counter
+}
+
+// NewMetrics registers (or finds) the simnet metric set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		messages: reg.Counter("simnet_messages_total", "Messages entering the wire."),
+		bytes:    reg.Counter("simnet_bytes_total", "Payload bytes entering the wire."),
+		drops:    reg.Counter("simnet_faults_total", "Injected fault verdicts applied.", obs.L("verdict", "drop")),
+		delays:   reg.Counter("simnet_faults_total", "Injected fault verdicts applied.", obs.L("verdict", "delay")),
+		truncs:   reg.Counter("simnet_faults_total", "Injected fault verdicts applied.", obs.L("verdict", "truncate")),
+		holds:    reg.Counter("simnet_faults_total", "Injected fault verdicts applied.", obs.L("verdict", "hold")),
+	}
+	reg.CounterFunc("simnet_buffer_pool_hits_total",
+		"GetBuffer calls served from the free list.",
+		func() float64 { return float64(poolHits.Load()) })
+	reg.CounterFunc("simnet_buffer_pool_misses_total",
+		"GetBuffer calls that allocated a fresh buffer.",
+		func() float64 { return float64(poolMisses.Load()) })
+	return m
+}
+
+// SetMetrics installs a metric set on the network. Like
+// SetFaultInjector it must be called before traffic flows; nil leaves
+// the network uninstrumented.
+func (n *Network) SetMetrics(m *Metrics) { n.metrics = m }
+
+// countFault tallies one injected verdict against payloadLen bytes as
+// sendFaulty will apply it (a verdict may tick several series: a
+// delayed truncate counts as both).
+func (m *Metrics) countFault(v Fault, payloadLen int) {
+	if v.Drop {
+		m.drops.Inc()
+		return
+	}
+	if v.TruncateTo > 0 && v.TruncateTo < payloadLen {
+		m.truncs.Inc()
+	}
+	if v.Hold > 0 {
+		m.holds.Inc()
+	}
+	if v.Delay > 0 {
+		m.delays.Inc()
+	}
+}

@@ -40,6 +40,10 @@ type Network struct {
 	// set before any traffic flows (SetFaultInjector) so the data-plane
 	// hot path pays exactly one nil check when chaos is disabled.
 	faults FaultInjector
+	// metrics, when non-nil, counts messages, bytes, and fault
+	// verdicts. Same discipline as faults: installed before traffic
+	// (SetMetrics), one nil check per send when disabled.
+	metrics *Metrics
 }
 
 // Fault is the injector's verdict for one message crossing the wire.
@@ -234,6 +238,7 @@ func GetBuffer(n int) []byte {
 	select {
 	case b := <-bufFree:
 		if cap(b) >= n {
+			poolHits.Add(1)
 			return b[:n]
 		}
 		// Too small for this message: put it back for smaller traffic
@@ -242,6 +247,7 @@ func GetBuffer(n int) []byte {
 		PutBuffer(b)
 	default:
 	}
+	poolMisses.Add(1)
 	c := minBufCap
 	for c < n {
 		c *= 2
@@ -304,6 +310,10 @@ func (c *Conn) Send(data []byte) error {
 // zero-copy handoff the fleet dispatcher's proxy pumps use. On error
 // the caller keeps ownership.
 func (c *Conn) SendOwned(data []byte) error {
+	if m := c.net.metrics; m != nil {
+		m.messages.Inc()
+		m.bytes.Add(uint64(len(data)))
+	}
 	if f := c.net.faults; f != nil {
 		return c.sendFaulty(f, data)
 	}
@@ -347,6 +357,9 @@ func (c *Conn) sendFaulty(f FaultInjector, data []byte) error {
 	default:
 	}
 	v := f.FaultFor(len(data))
+	if m := c.net.metrics; m != nil {
+		m.countFault(v, len(data))
+	}
 	if v.Drop {
 		// Link failure: the message is lost with the connection. The
 		// receiver drains anything already in flight and then observes

@@ -64,8 +64,11 @@ type Metrics struct {
 	P99Latency time.Duration
 }
 
-// Percentile returns the p-th percentile (nearest-rank) of the given
-// latencies. The input need not be sorted; it is not modified.
+// Percentile returns the p-th percentile of the given latencies using
+// linear interpolation between closest ranks, so even-length samples
+// behave consistently (the p50 of {10ms, 20ms} is 15ms, not an
+// arbitrary pick of either endpoint). The input need not be sorted;
+// it is not modified.
 func Percentile(latencies []time.Duration, p float64) time.Duration {
 	if len(latencies) == 0 {
 		return 0
@@ -75,20 +78,28 @@ func Percentile(latencies []time.Duration, p float64) time.Duration {
 	return percentileSorted(sorted, p)
 }
 
-// percentileSorted is the nearest-rank percentile over an ascending
-// slice: the smallest value with at least p% of samples at or below it.
+// percentileSorted interpolates the p-th percentile over an ascending
+// slice: rank p/100·(n-1) split into its integer neighbors, lerped by
+// the fractional part (the "linear" method of NumPy and most
+// monitoring systems). p outside [0, 100] clamps to the extremes.
 func percentileSorted(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
+	if p <= 0 {
+		return sorted[0]
 	}
-	if rank > len(sorted) {
-		rank = len(sorted)
+	if p >= 100 {
+		return sorted[n-1]
 	}
-	return sorted[rank-1]
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= n {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
 }
 
 // ThroughputKBps returns throughput in kilobytes per second — the

@@ -95,7 +95,7 @@ func TestMetricsZeroSafe(t *testing.T) {
 
 func TestPercentileMath(t *testing.T) {
 	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
-	// 1..100 ms: the p-th percentile under nearest-rank is exactly p ms.
+	// 1..100 ms: interpolated rank p/100·99 between neighbors.
 	hundred := make([]time.Duration, 100)
 	for i := range hundred {
 		hundred[i] = ms(i + 1)
@@ -109,18 +109,43 @@ func TestPercentileMath(t *testing.T) {
 		{"empty", nil, 95, 0},
 		{"single", []time.Duration{ms(7)}, 50, ms(7)},
 		{"single-p99", []time.Duration{ms(7)}, 99, ms(7)},
-		{"hundred-p50", hundred, 50, ms(50)},
-		{"hundred-p95", hundred, 95, ms(95)},
-		{"hundred-p99", hundred, 99, ms(99)},
+		// p50 of an even-length sample is the true median — the
+		// consistency the interpolation fix buys.
+		{"two-p50", []time.Duration{ms(10), ms(20)}, 50, ms(15)},
+		{"hundred-p50", hundred, 50, ms(50) + 500*time.Microsecond},
 		{"hundred-p100", hundred, 100, ms(100)},
+		{"four-p25", []time.Duration{ms(4), ms(1), ms(3), ms(2)}, 25, ms(1) + 750*time.Microsecond},
 		{"five-p50", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 50, ms(3)},
-		{"five-p99", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 99, ms(5)},
-		{"two-p50", []time.Duration{ms(10), ms(20)}, 50, ms(10)},
+		{"five-p25", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 25, ms(2)},
+		{"five-p75", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 75, ms(4)},
 		{"clamp-low", []time.Duration{ms(10), ms(20)}, 0, ms(10)},
+		{"clamp-high", []time.Duration{ms(10), ms(20)}, 120, ms(20)},
 	}
 	for _, tc := range tests {
 		if got := Percentile(tc.in, tc.p); got != tc.want {
 			t.Errorf("%s: Percentile(p=%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// Fractional ranks that are not exactly representable in binary
+	// get a tolerance instead of exact equality.
+	approx := []struct {
+		name string
+		in   []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"hundred-p95", hundred, 95, ms(95) + 50*time.Microsecond},
+		{"hundred-p99", hundred, 99, ms(99) + 10*time.Microsecond},
+		{"five-p99", []time.Duration{ms(5), ms(1), ms(4), ms(2), ms(3)}, 99, ms(4) + 960*time.Microsecond},
+	}
+	for _, tc := range approx {
+		got := Percentile(tc.in, tc.p)
+		diff := got - tc.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Errorf("%s: Percentile(p=%v) = %v, want %v ±1µs", tc.name, tc.p, got, tc.want)
 		}
 	}
 	// The input must not be reordered.
