@@ -17,6 +17,7 @@ import (
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
 	"nvariant/internal/isa"
+	"nvariant/internal/mesh"
 	"nvariant/internal/nvkernel"
 	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
@@ -570,6 +571,37 @@ func BenchmarkFleetDispatchOverhead(b *testing.B) {
 	}
 	b.StopTimer()
 	if _, err := f.Stop(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMeshDispatchOverhead measures the per-request cost the mesh
+// router adds on top of fleet dispatch (one pool, one group, so the
+// difference against BenchmarkFleetDispatchOverhead is pure routing:
+// admission CAS, inflight accounting, and the mesh tick). The mesh runs
+// instrumented so the allocs/op gate proves the router hot path stays
+// allocation-free.
+func BenchmarkMeshDispatchOverhead(b *testing.B) {
+	m, err := mesh.New(mesh.Options{
+		Pools: 1,
+		Obs:   obs.NewRegistry(),
+		Fleet: fleet.Options{Groups: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := m.Session("bench")
+	req := httpd.AppendRequest(nil, "/index.html")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, _, err := sess.Fetch(req)
+		if err != nil || code != 200 {
+			b.Fatalf("request %d: %d %v", i, code, err)
+		}
+	}
+	b.StopTimer()
+	if _, err := m.Stop(); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -24,7 +24,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"nvariant/internal/experiments"
@@ -52,23 +51,6 @@ type cell struct {
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
 	Errors   int     `json:"errors"`
-}
-
-// auditSwitch adapts the ops server's audit endpoint to a sweep that
-// retires one fleet per cell: it always tails the most recent fleet's
-// recovery log.
-type auditSwitch struct {
-	cur atomic.Pointer[fleet.AuditLog]
-}
-
-func (a *auditSwitch) set(l *fleet.AuditLog) { a.cur.Store(l) }
-
-func (a *auditSwitch) TailNDJSON(since, max int) ([]byte, int, error) {
-	l := a.cur.Load()
-	if l == nil {
-		return nil, since, fmt.Errorf("no fleet running yet")
-	}
-	return l.TailNDJSON(since, max)
 }
 
 // report is the -json document (the CI perf-trajectory artifact).
@@ -115,12 +97,15 @@ func run() error {
 	}
 
 	var (
-		reg   *obs.Registry
-		audit *auditSwitch
+		reg *obs.Registry
+		// audit merges every cell fleet's recovery log into one
+		// vtime-ordered /audit tail, so an operator watching the sweep
+		// sees the whole history, not just the newest fleet's.
+		audit *fleet.MultiAudit
 	)
 	if *opsAddr != "" {
 		reg = obs.NewRegistry()
-		audit = &auditSwitch{}
+		audit = fleet.NewMultiAudit()
 		srv, err := obs.StartServer(*opsAddr, reg, audit)
 		if err != nil {
 			return fmt.Errorf("-ops: %w", err)
@@ -210,7 +195,7 @@ func run() error {
 	}
 	for _, groups := range poolSizes {
 		for _, eng := range engineCounts {
-			m, err := measure(groups, eng, *requests, fleetOpts, audit)
+			m, err := measure(groups, eng, *requests, fleetOpts, audit, fmt.Sprintf("pool%dx%d", groups, eng))
 			if err != nil {
 				return fmt.Errorf("pool %d engines %d: %w", groups, eng, err)
 			}
@@ -244,14 +229,14 @@ func run() error {
 // lingerFleet keeps one instrumented fleet alive under a trickle of
 // benign load so the ops endpoints can be scraped live (the CI
 // ops-smoke job polls /metrics against this window).
-func lingerFleet(groups int, d time.Duration, opts fleet.Options, audit *auditSwitch) error {
+func lingerFleet(groups int, d time.Duration, opts fleet.Options, audit *fleet.MultiAudit) error {
 	opts.Groups = groups
 	f, err := fleet.New(opts)
 	if err != nil {
 		return err
 	}
 	if audit != nil {
-		audit.set(f.Audit())
+		audit.Attach("linger", f.Audit())
 	}
 	fmt.Fprintf(os.Stderr, "fleetbench: lingering %v with a %d-group fleet under trickle load\n", d, groups)
 	client := f.Client()
@@ -269,14 +254,14 @@ func lingerFleet(groups int, d time.Duration, opts fleet.Options, audit *auditSw
 }
 
 // measure runs one cell of the sweep on a fresh fleet.
-func measure(groups, engines, requests int, opts fleet.Options, audit *auditSwitch) (webbench.Metrics, error) {
+func measure(groups, engines, requests int, opts fleet.Options, audit *fleet.MultiAudit, name string) (webbench.Metrics, error) {
 	opts.Groups = groups
 	f, err := fleet.New(opts)
 	if err != nil {
 		return webbench.Metrics{}, err
 	}
 	if audit != nil {
-		audit.set(f.Audit())
+		audit.Attach(name, f.Audit())
 	}
 	m, err := webbench.Run(f.Net(), f.Port(), webbench.Options{
 		Engines:           engines,

@@ -1,6 +1,8 @@
 // Command opsd demonstrates the ops surface end to end: it deploys an
-// instrumented N-variant fleet, keeps it under light benign load, and
-// serves /metrics (Prometheus text), /audit (recovery-log NDJSON) and
+// instrumented N-variant fleet — or, with -pools > 1 or -rotate > 0, a
+// sharded mesh with moving-target rotation — keeps it under light
+// benign load, and serves /metrics (Prometheus text), /audit
+// (recovery-log NDJSON, merged across pools in mesh mode) and
 // /debug/pprof on a loopback address until -duration elapses or the
 // process is interrupted.
 //
@@ -11,9 +13,10 @@
 // Usage:
 //
 //	opsd                                  # fleet + ops server on 127.0.0.1:9090
+//	opsd -pools 2 -rotate 64              # mesh mode with rotation
 //	opsd -addr 127.0.0.1:0 -duration 30s  # ephemeral port, bounded run
 //	curl -s localhost:9090/metrics | opsd -lint
-//	opsd -lint metrics.txt -require nvk_syscalls_total,fleet_quarantines_total
+//	opsd -lint metrics.txt -require nvk_syscalls_total,mesh_rotations_total
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 
 	"nvariant/internal/fleet"
 	"nvariant/internal/httpd"
+	"nvariant/internal/mesh"
 	"nvariant/internal/obs"
 )
 
@@ -39,9 +43,12 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9090", "host address for the ops server")
-	groups := flag.Int("groups", 2, "fleet pool size")
+	groups := flag.Int("groups", 2, "pool size (per pool in mesh mode)")
 	variants := flag.Int("variants", 2, "variants per group")
 	workers := flag.Int("workers", 0, "per-group prefork worker lanes (0 = serial)")
+	pools := flag.Int("pools", 1, "pool count: > 1 serves a sharded mesh instead of one fleet")
+	rotate := flag.Uint64("rotate", 0, "mesh: rotate a healthy group every N dispatches (0 = off; > 0 implies mesh mode)")
+	floor := flag.Int("floor", 0, "mesh: availability floor in healthy groups per pool (0 = groups-1)")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	lintMode := flag.Bool("lint", false, "lint a Prometheus exposition payload (from the file argument or stdin) instead of serving")
 	require := flag.String("require", "", "with -lint: comma-separated metric families that must be present")
@@ -50,12 +57,20 @@ func run() error {
 	if *lintMode {
 		return lint(flag.Arg(0), *require)
 	}
+	if *pools > 1 || *rotate > 0 {
+		return serveMesh(*addr, *pools, *groups, *variants, *workers, *rotate, *floor, *duration)
+	}
+	return serveFleet(*addr, *groups, *variants, *workers, *duration)
+}
 
+// serveFleet is the single-pool mode: one instrumented fleet under
+// trickle load.
+func serveFleet(addr string, groups, variants, workers int, duration time.Duration) error {
 	reg := obs.NewRegistry()
 	f, err := fleet.New(fleet.Options{
-		Groups:   *groups,
-		Variants: *variants,
-		Workers:  *workers,
+		Groups:   groups,
+		Variants: variants,
+		Workers:  workers,
 		Server:   httpd.DefaultOptions(),
 		Obs:      reg,
 	})
@@ -64,27 +79,85 @@ func run() error {
 	}
 	defer func() { _, _ = f.Stop() }()
 
-	srv, err := obs.StartServer(*addr, reg, f.Audit())
+	srv, err := obs.StartServer(addr, reg, f.Audit())
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "opsd: %d-group fleet (N=%d, W=%d) up; ops on http://%s\n",
-		*groups, *variants, *workers, srv.Addr)
+		groups, variants, workers, srv.Addr)
 	fmt.Fprintf(os.Stderr, "opsd: try  curl -s http://%s/metrics  and  curl -s http://%s/audit\n",
 		srv.Addr, srv.Addr)
 
+	client := f.Client()
+	req := httpd.AppendRequest(nil, "/index.html")
+	return trickle(duration, func() error {
+		_, _, err := client.Fetch(req)
+		return err
+	})
+}
+
+// serveMesh is the sharded mode: a mesh of pools with optional
+// moving-target rotation, trickle load spread across sticky sessions,
+// and the merged cross-pool audit tail on /audit.
+func serveMesh(addr string, pools, groups, variants, workers int, rotate uint64, floor int, duration time.Duration) error {
+	reg := obs.NewRegistry()
+	m, err := mesh.New(mesh.Options{
+		Pools:             pools,
+		RotateEvery:       rotate,
+		AvailabilityFloor: floor,
+		Obs:               reg,
+		Fleet: fleet.Options{
+			Groups:   groups,
+			Variants: variants,
+			Workers:  workers,
+			Server:   httpd.DefaultOptions(),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _, _ = m.Stop() }()
+
+	srv, err := obs.StartServer(addr, reg, m.Audit())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	rotating := "rotation off"
+	if rotate > 0 {
+		rotating = fmt.Sprintf("rotating every %d dispatches", rotate)
+	}
+	fmt.Fprintf(os.Stderr, "opsd: %d-pool mesh (%d groups/pool, N=%d, W=%d, %s) up; ops on http://%s\n",
+		pools, groups, variants, workers, rotating, srv.Addr)
+	fmt.Fprintf(os.Stderr, "opsd: try  curl -s http://%s/metrics  and  curl -s http://%s/audit\n",
+		srv.Addr, srv.Addr)
+
+	// Trickle load round-robins over sticky sessions so every pool's
+	// metrics move and rotation triggers keep firing.
+	sessions := make([]*mesh.Session, 4*pools)
+	for i := range sessions {
+		sessions[i] = m.Session(fmt.Sprintf("trickle-%d", i))
+	}
+	req := httpd.AppendRequest(nil, "/index.html")
+	i := 0
+	return trickle(duration, func() error {
+		s := sessions[i%len(sessions)]
+		i++
+		_, _, err := s.Fetch(req)
+		return err
+	})
+}
+
+// trickle fires step every 10ms until the duration elapses or the
+// process is interrupted.
+func trickle(duration time.Duration, step func() error) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	var deadline <-chan time.Time
-	if *duration > 0 {
-		deadline = time.After(*duration)
+	if duration > 0 {
+		deadline = time.After(duration)
 	}
-
-	// Trickle benign load so every layer's metrics move while the
-	// server is scrapeable.
-	client := f.Client()
-	req := httpd.AppendRequest(nil, "/index.html")
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -95,7 +168,7 @@ func run() error {
 		case <-deadline:
 			return nil
 		case <-tick.C:
-			if _, _, err := client.Fetch(req); err != nil {
+			if err := step(); err != nil {
 				return fmt.Errorf("trickle load: %w", err)
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -134,6 +135,93 @@ func (l *AuditLog) TailNDJSON(since, max int) ([]byte, int, error) {
 		buf = append(buf, line...)
 		buf = append(buf, '\n')
 		last = e.Seq
+		if max > 0 && last-since >= max {
+			break
+		}
+	}
+	return buf, last, nil
+}
+
+// MultiAudit merges the recovery logs of several pools into one
+// NDJSON tail for the ops /audit endpoint — the fleet-of-fleets view,
+// so an operator watching a mesh sees every pool's quarantines and
+// rotations, not just the newest fleet's. Entries are ordered by
+// virtual time (each group's deterministic teardown stamp), then pool
+// name, then per-log sequence; each line gains a "pool" field naming
+// its source.
+//
+// The since/n cursor pages by position in the merged ordering. A pool
+// appending a low-vtime entry after a poll can shift positions, so
+// the tail is best-effort for live operators — the per-log AuditLog
+// remains the exact record.
+type MultiAudit struct {
+	mu   sync.Mutex
+	logs []namedAudit
+}
+
+type namedAudit struct {
+	name string
+	log  *AuditLog
+}
+
+// NewMultiAudit returns an empty merged audit source.
+func NewMultiAudit() *MultiAudit { return &MultiAudit{} }
+
+// Attach adds one pool's log under the given name. Safe to call while
+// the source is being polled; logs are never detached (a retired
+// pool's history stays visible).
+func (m *MultiAudit) Attach(name string, l *AuditLog) {
+	if l == nil {
+		return
+	}
+	m.mu.Lock()
+	m.logs = append(m.logs, namedAudit{name: name, log: l})
+	m.mu.Unlock()
+}
+
+// taggedEntry is one merged line: the audit entry plus its pool name.
+type taggedEntry struct {
+	Pool string `json:"pool"`
+	AuditEntry
+}
+
+// TailNDJSON implements obs.AuditSource over the merged ordering.
+func (m *MultiAudit) TailNDJSON(since, max int) ([]byte, int, error) {
+	m.mu.Lock()
+	logs := append([]namedAudit(nil), m.logs...)
+	m.mu.Unlock()
+	if len(logs) == 0 {
+		return nil, since, fmt.Errorf("no pool logs attached yet")
+	}
+	var merged []taggedEntry
+	for _, nl := range logs {
+		for _, e := range nl.log.Entries() {
+			merged = append(merged, taggedEntry{Pool: nl.name, AuditEntry: e})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.VTime != b.VTime {
+			return a.VTime < b.VTime
+		}
+		if a.Pool != b.Pool {
+			return a.Pool < b.Pool
+		}
+		return a.Seq < b.Seq
+	})
+	last := since
+	var buf []byte
+	for i, e := range merged {
+		if i < since {
+			continue
+		}
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, since, fmt.Errorf("audit: marshal merged entry %d: %w", i, err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		last = i + 1
 		if max > 0 && last-since >= max {
 			break
 		}

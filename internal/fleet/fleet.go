@@ -81,6 +81,13 @@ type Options struct {
 	FrontPort uint16
 	// BasePort is the first group port (default DefaultBasePort).
 	BasePort uint16
+	// PortSpan, when non-zero, bounds the pool's port budget: group
+	// ports are drawn from [BasePort, BasePort+PortSpan) and spawn
+	// fails cleanly when the budget is exhausted with no quarantined
+	// port free to recycle. A mesh slices one shared port space into
+	// per-pool spans this way, so pools never collide even as elastic
+	// sizing grows them.
+	PortSpan uint16
 	// Latency is the simulated one-way wire latency of the shared
 	// network.
 	Latency time.Duration
@@ -155,6 +162,9 @@ type Fleet struct {
 	detections  int
 	quarantined int
 	replaced    int
+	rotated     int
+	shrunk      int
+	grown       int
 	closed      bool
 
 	// rngMu guards rng separately from mu: mask selection scans a
@@ -256,6 +266,14 @@ func (f *Fleet) spawn() (*group, error) {
 			f.mu.Unlock()
 			return nil, fmt.Errorf("fleet: group port space exhausted")
 		}
+		if span := f.opts.PortSpan; span > 0 && int(port)-int(f.opts.BasePort) >= int(span) {
+			// The pool's slice of a shared port budget is spent. Live
+			// ports never exceed the peak pool size (exited groups
+			// recycle theirs), so this only fires when the pool really
+			// holds PortSpan groups at once.
+			f.mu.Unlock()
+			return nil, fmt.Errorf("fleet: port budget [%d,%d) exhausted", f.opts.BasePort, int(f.opts.BasePort)+int(span))
+		}
 		f.nextPort++
 	}
 	f.mu.Unlock()
@@ -318,7 +336,12 @@ func (f *Fleet) groupExited(g *group) {
 
 	f.mu.Lock()
 	stopping := f.closed
+	// An alarm raised while the group was draining still counts as a
+	// detection — the monitor's verdict outranks the administrative
+	// retirement that happened to be in flight.
+	mode := g.retire
 	if alarmed {
+		mode = retireNone
 		f.detections++
 		if f.obs != nil {
 			f.obs.detections.Inc()
@@ -332,11 +355,25 @@ func (f *Fleet) groupExited(g *group) {
 		// group down — returns to the free list for the replacement.
 		f.removeLocked(g)
 		f.freePorts = append(f.freePorts, g.port)
-		if alarmed || !clean {
+		switch {
+		case mode == retireRotate:
+			f.rotated++
+			if f.obs != nil {
+				f.obs.rotations.Inc()
+			}
+		case mode == retireShrink:
+			f.shrunk++
+		case alarmed || !clean:
 			f.quarantined++
 			if f.obs != nil {
 				f.obs.quarantines.Inc()
 			}
+		}
+		if f.obs != nil {
+			// The group's whole life is how long one mask set was
+			// exposed to attackers — the moving-target metric rotation
+			// exists to shrink.
+			f.obs.lifetime.Observe(time.Since(g.born))
 		}
 	}
 	f.mu.Unlock()
@@ -360,6 +397,17 @@ func (f *Fleet) groupExited(g *group) {
 	switch {
 	case alarmed:
 		entry.Alarm = res.Alarm
+	case mode == retireRotate:
+		act = "rotate"
+		entry.Action = act
+		entry.Detail = "proactive rotation (drained)"
+	case mode == retireShrink:
+		// Elastic downsizing: the drained slot is retired for good, so
+		// no replacement is spawned and the record is final here.
+		entry.Action = "shrink"
+		entry.Detail = "elastic shrink (drained)"
+		f.audit.append(entry)
+		return
 	case clean:
 		// e.g. a MaxConns server finishing its budget: not an attack,
 		// but the slot still needs refilling.
@@ -431,11 +479,17 @@ func (f *Fleet) removeLocked(g *group) {
 }
 
 // publishLocked republishes the dispatcher's snapshot of the healthy
-// pool. Caller holds f.mu. The stored slice is a fresh copy and never
-// mutated afterwards, so pick() may read it without synchronization.
+// pool, excluding draining groups (they finish their in-flight
+// connections but take no new ones). Caller holds f.mu. The stored
+// slice is a fresh copy and never mutated afterwards, so pick() may
+// read it without synchronization.
 func (f *Fleet) publishLocked() {
-	snap := make([]*group, len(f.groups))
-	copy(snap, f.groups)
+	snap := make([]*group, 0, len(f.groups))
+	for _, g := range f.groups {
+		if g.retire == retireNone {
+			snap = append(snap, g)
+		}
+	}
 	f.pool.Store(&snap)
 }
 
@@ -468,10 +522,18 @@ func (f *Fleet) Stats() Stats {
 		Detections:     f.detections,
 		Quarantined:    f.quarantined,
 		Replaced:       f.replaced,
+		Rotated:        f.rotated,
+		Shrunk:         f.shrunk,
+		Grown:          f.grown,
 		Dispatched:     f.dispatched.Load(),
 		DispatchErrors: f.dispatchErrors.Load(),
 	}
 	for _, g := range f.groups {
+		if g.retire != retireNone {
+			// Draining groups are still finishing in-flight work but no
+			// longer count toward serving capacity.
+			continue
+		}
 		stack := ""
 		if g.spec != nil {
 			stack = g.spec.StackString()
@@ -520,11 +582,109 @@ func (f *Fleet) OldestGroupID() int {
 	defer f.mu.Unlock()
 	oldest := -1
 	for _, g := range f.groups {
-		if oldest == -1 || g.id < oldest {
+		if g.retire == retireNone && (oldest == -1 || g.id < oldest) {
 			oldest = g.id
 		}
 	}
 	return oldest
+}
+
+// LiveGroups enumerates the live pool members in spawn order (ids are
+// never reused, so ascending id is oldest-first) with their ages and
+// load — the roster a rotation scheduler picks victims from. Draining
+// groups are included, flagged, so callers can see retirements in
+// flight.
+func (f *Fleet) LiveGroups() []GroupInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	out := make([]GroupInfo, 0, len(f.groups))
+	for _, g := range f.groups {
+		out = append(out, GroupInfo{
+			ID:       g.id,
+			Port:     g.port,
+			Born:     g.born,
+			Age:      now.Sub(g.born),
+			Inflight: g.inflight.Load(),
+			Served:   g.served.Load(),
+			Draining: g.retire != retireNone,
+		})
+	}
+	return out
+}
+
+// HealthyCount returns the number of groups currently in the dispatch
+// pool (live minus draining). Lock-free: it reads the published
+// snapshot, so rotation schedulers may call it on hot paths.
+func (f *Fleet) HealthyCount() int { return len(*f.pool.Load()) }
+
+// Grow spawns one additional group with a freshly generated spec and
+// returns its id — the elastic scale-up hook. The new group enters the
+// dispatch pool as soon as it is listening.
+func (f *Fleet) Grow() (int, error) {
+	g, err := f.spawn()
+	if err != nil {
+		return -1, err
+	}
+	f.mu.Lock()
+	f.grown++
+	f.mu.Unlock()
+	return g.id, nil
+}
+
+// Rotate drains the healthy group with the given id and replaces it
+// with a freshly generated spec — proactive moving-target rotation, in
+// contrast to ShutdownGroup's crash semantics. The group is removed
+// from the dispatch snapshot immediately (no new connections), its
+// in-flight connections are given drainFor to finish, and then its
+// listener is closed; the watcher spawns the replacement and records a
+// "rotate+replace" audit entry. An error means no live non-draining
+// group had that id.
+func (f *Fleet) Rotate(id int, drainFor time.Duration) error {
+	return f.retire(id, retireRotate, drainFor)
+}
+
+// Shrink drains the healthy group with the given id and retires its
+// slot without replacement — the elastic scale-down hook. Its port
+// returns to the recycling pool.
+func (f *Fleet) Shrink(id int, drainFor time.Duration) error {
+	return f.retire(id, retireShrink, drainFor)
+}
+
+// retire marks the group as draining, waits (bounded) for its
+// in-flight connections to finish, and closes its listener. The exit
+// is then processed by the group's watcher like any other, with the
+// retire mode steering accounting and replacement.
+func (f *Fleet) retire(id int, mode retireMode, drainFor time.Duration) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errClosed
+	}
+	var victim *group
+	for _, g := range f.groups {
+		if g.id == id {
+			victim = g
+			break
+		}
+	}
+	if victim == nil || victim.retire != retireNone {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: no live non-draining group %d to retire", id)
+	}
+	victim.retire = mode
+	f.publishLocked()
+	f.mu.Unlock()
+
+	// Drain: the snapshot no longer offers the group, so inflight only
+	// falls. A connection that outlives the budget is dropped by the
+	// shutdown below — rotation must never wedge behind one slow
+	// client.
+	deadline := time.Now().Add(drainFor)
+	for victim.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(dialRetryInterval)
+	}
+	return f.net.ShutdownPort(victim.port)
 }
 
 // Await polls Stats until cond holds or timeout elapses. Recovery is

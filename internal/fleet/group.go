@@ -36,11 +36,29 @@ type group struct {
 	handle *harness.Handle
 	// born is the group's spawn time, for the group-age gauge.
 	born time.Time
+	// retire marks an administratively draining group (guarded by the
+	// fleet mutex): retireRotate exits are replaced with a fresh spec,
+	// retireShrink exits are not. Draining groups are filtered from the
+	// dispatch snapshot, so no new connection reaches them.
+	retire retireMode
 	// inflight counts connections currently proxied to the group.
 	inflight atomic.Int64
 	// served counts connections ever dispatched to the group.
 	served atomic.Int64
 }
+
+// retireMode classifies an administrative drain of a healthy group.
+type retireMode int
+
+const (
+	// retireNone: the group is serving normally.
+	retireNone retireMode = iota
+	// retireRotate: moving-target rotation — drain, then replace with a
+	// freshly generated spec.
+	retireRotate
+	// retireShrink: elastic downsizing — drain, no replacement.
+	retireShrink
+)
 
 // SelectPair draws a fresh two-variant UID pair: R₀ = identity and
 // R₁ = XOR with a freshly selected mask satisfying the §2.2/§2.3

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for the mesh-facing fleet hooks: LiveGroups, Grow, Rotate,
+// Shrink, the PortSpan budget, and the MultiAudit merged tail.
+
+func mustFleet(t *testing.T, opts Options) *Fleet {
+	t.Helper()
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _, _ = f.Stop() })
+	return f
+}
+
+func TestLiveGroupsRoster(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 3})
+	groups := f.LiveGroups()
+	if len(groups) != 3 {
+		t.Fatalf("roster has %d groups, want 3", len(groups))
+	}
+	for i, g := range groups {
+		if g.ID != i {
+			t.Errorf("roster[%d].ID = %d, want spawn order", i, g.ID)
+		}
+		if g.Draining {
+			t.Errorf("fresh group %d marked draining", g.ID)
+		}
+		if g.Port == 0 || g.Born.IsZero() {
+			t.Errorf("group %d missing port/born: %+v", g.ID, g)
+		}
+	}
+}
+
+func TestRotateDrainsAndReplaces(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 2})
+	victim := f.OldestGroupID()
+	if err := f.Rotate(victim, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Await(func(s Stats) bool {
+		return s.Rotated == 1 && s.Replaced == 1 && len(s.Healthy) == 2
+	}, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's slot is refilled by a *new* group: ids never come
+	// back, and rotation does not count as a quarantine.
+	st := f.Stats()
+	if st.Quarantined != 0 || st.Detections != 0 {
+		t.Errorf("rotation counted as quarantine/detection: %+v", st)
+	}
+	for _, g := range st.Healthy {
+		if g.ID == victim {
+			t.Errorf("rotated group %d still in the pool", victim)
+		}
+	}
+	// The audit trail records the fresh-spec replacement.
+	var entry *AuditEntry
+	for _, e := range f.Audit().Entries() {
+		if e.GroupID == victim {
+			entry = &e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("no audit entry for the rotated group")
+	}
+	if entry.Action != "rotate+replace" || entry.ReplacementID < 0 || entry.ReplacementR1 == "" {
+		t.Errorf("audit entry = %+v, want rotate+replace with a replacement spec", entry)
+	}
+}
+
+func TestShrinkRetiresWithoutReplacement(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 2})
+	groups := f.LiveGroups()
+	newest := groups[len(groups)-1].ID
+	if err := f.Shrink(newest, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Await(func(s Stats) bool {
+		return s.Shrunk == 1 && len(s.Healthy) == 1
+	}, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Replaced != 0 || st.Spawned != 2 {
+		t.Errorf("shrink spawned a replacement: %+v", st)
+	}
+	entries := f.Audit().Entries()
+	if len(entries) != 1 || entries[0].Action != "shrink" || entries[0].ReplacementID != -1 {
+		t.Errorf("audit entries = %+v, want one bare shrink record", entries)
+	}
+}
+
+func TestGrowAddsGroup(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 1})
+	id, err := f.Grow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("grown group id = %d, want 1", id)
+	}
+	st := f.Stats()
+	if len(st.Healthy) != 2 || st.Grown != 1 {
+		t.Errorf("after grow: %d healthy, %d grown, want 2/1", len(st.Healthy), st.Grown)
+	}
+}
+
+func TestRetireRejectsMissingOrDraining(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 2})
+	if err := f.Rotate(99, time.Second); err == nil {
+		t.Error("rotating an unknown id succeeded")
+	}
+	victim := f.OldestGroupID()
+	if err := f.Rotate(victim, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The group is gone or draining now; a second retirement of the
+	// same id must fail rather than double-drain.
+	if err := f.Shrink(victim, time.Second); err == nil {
+		t.Error("second retirement of the same group succeeded")
+	}
+}
+
+// TestPortSpanBudget: a fleet sharing a port space respects its span —
+// growth past the budget fails cleanly, and a retired group's port is
+// recycled so the budget is about concurrent size, not history.
+func TestPortSpanBudget(t *testing.T) {
+	f := mustFleet(t, Options{Groups: 2, PortSpan: 2})
+	if _, err := f.Grow(); err == nil || !strings.Contains(err.Error(), "port budget") {
+		t.Fatalf("grow past the span: err = %v, want port budget exhaustion", err)
+	}
+	// Retire one group; its port must come back to the budget.
+	groups := f.LiveGroups()
+	if err := f.Shrink(groups[len(groups)-1].ID, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Await(func(s Stats) bool { return s.Shrunk == 1 }, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Grow()
+	if err != nil {
+		t.Fatalf("grow after shrink should recycle the port: %v", err)
+	}
+	for _, g := range f.LiveGroups() {
+		if g.ID == id && int(g.Port)-int(DefaultBasePort) >= 2 {
+			t.Errorf("recycled group on port %d, outside span [%d,%d)", g.Port, DefaultBasePort, DefaultBasePort+2)
+		}
+	}
+}
+
+// TestMultiAuditMergesByVTime: the merged tail orders entries by
+// virtual time across pools, tags each line with its pool, and pages
+// with the since/n cursor.
+func TestMultiAuditMergesByVTime(t *testing.T) {
+	a, b := newAuditLog(nil), newAuditLog(nil)
+	a.append(AuditEntry{GroupID: 1, VTime: 50, Action: "quarantine+replace", ReplacementID: -1})
+	b.append(AuditEntry{GroupID: 2, VTime: 10, Action: "rotate+replace", ReplacementID: -1})
+	b.append(AuditEntry{GroupID: 3, VTime: 60, Action: "shrink", ReplacementID: -1})
+
+	m := NewMultiAudit()
+	if _, _, err := m.TailNDJSON(0, 0); err == nil {
+		t.Error("empty MultiAudit tail succeeded, want error")
+	}
+	m.Attach("poolA", a)
+	m.Attach("poolB", b)
+
+	buf, last, err := m.TailNDJSON(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 3 {
+		t.Errorf("cursor = %d, want 3", last)
+	}
+	lines := strings.Split(strings.TrimSpace(string(buf)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("merged tail has %d lines, want 3:\n%s", len(lines), buf)
+	}
+	wantOrder := []string{`"vtime":10`, `"vtime":50`, `"vtime":60`}
+	wantPool := []string{`"pool":"poolB"`, `"pool":"poolA"`, `"pool":"poolB"`}
+	for i, line := range lines {
+		if !strings.Contains(line, wantOrder[i]) || !strings.Contains(line, wantPool[i]) {
+			t.Errorf("line %d = %s, want %s from %s", i, line, wantOrder[i], wantPool[i])
+		}
+	}
+
+	// Cursor paging: two entries, then resume.
+	buf, last, err = m.TailNDJSON(0, 2)
+	if err != nil || last != 2 {
+		t.Fatalf("page 1: last=%d err=%v, want 2", last, err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(buf)), "\n")); n != 2 {
+		t.Errorf("page 1 has %d lines, want 2", n)
+	}
+	buf, last, err = m.TailNDJSON(2, 2)
+	if err != nil || last != 3 {
+		t.Fatalf("page 2: last=%d err=%v, want 3", last, err)
+	}
+	if !strings.Contains(string(buf), `"vtime":60`) {
+		t.Errorf("page 2 = %s, want the vtime-60 entry", buf)
+	}
+}

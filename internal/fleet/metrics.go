@@ -17,7 +17,9 @@ import (
 //	fleet_detections_total           groups that exited with an alarm
 //	fleet_quarantines_total          groups pruned from the pool
 //	fleet_replacements_total         replacement groups spawned
+//	fleet_rotations_total            healthy groups drained + replaced proactively
 //	fleet_exposure_window_seconds    alarm raise → replacement registered
+//	fleet_group_lifetime_seconds     group spawn → exit (one mask set's exposure)
 //	fleet_healthy_groups             current pool size (sampled)
 //	fleet_oldest_group_age_seconds   age of the longest-lived pool member (sampled)
 type metrics struct {
@@ -27,7 +29,9 @@ type metrics struct {
 	detections     *obs.Counter
 	quarantines    *obs.Counter
 	replacements   *obs.Counter
+	rotations      *obs.Counter
 	exposure       *obs.Histogram
+	lifetime       *obs.Histogram
 }
 
 // newMetrics registers the fleet metric set on reg. The sampled
@@ -42,8 +46,11 @@ func newMetrics(reg *obs.Registry, f *Fleet) *metrics {
 		detections:     reg.Counter("fleet_detections_total", "Groups that exited with an alarm."),
 		quarantines:    reg.Counter("fleet_quarantines_total", "Groups pruned from the pool."),
 		replacements:   reg.Counter("fleet_replacements_total", "Replacement groups spawned."),
+		rotations:      reg.Counter("fleet_rotations_total", "Healthy groups drained and replaced proactively."),
 		exposure: reg.Histogram("fleet_exposure_window_seconds",
 			"Alarm raise to replacement group registered.", nil),
+		lifetime: reg.Histogram("fleet_group_lifetime_seconds",
+			"Group spawn to exit: how long one mask set stayed exposed.", nil),
 	}
 	reg.GaugeFunc("fleet_healthy_groups", "Groups currently in the dispatch pool.",
 		func() float64 { return float64(len(*f.pool.Load())) })

@@ -3,7 +3,27 @@ package fleet
 import (
 	"fmt"
 	"strings"
+	"time"
 )
+
+// GroupInfo identifies one live pool member with its age and load —
+// the LiveGroups roster rotation schedulers and elastic controllers
+// pick victims from.
+type GroupInfo struct {
+	// ID is the group's fleet-unique number (ascending = spawn order).
+	ID int
+	// Port is the group's listening port.
+	Port uint16
+	// Born is the group's spawn time; Age is time since then.
+	Born time.Time
+	Age  time.Duration
+	// Inflight / Served are the group's dispatch counters.
+	Inflight int64
+	Served   int64
+	// Draining reports an administrative retirement in flight: the
+	// group takes no new connections and will exit once drained.
+	Draining bool
+}
 
 // GroupStat describes one healthy pool member at snapshot time.
 type GroupStat struct {
@@ -45,6 +65,15 @@ type Stats struct {
 	Quarantined int
 	// Replaced counts fresh groups spawned to fill quarantined slots.
 	Replaced int
+	// Rotated counts healthy groups drained and replaced proactively
+	// (moving-target rotation — Rotate).
+	Rotated int
+	// Shrunk counts groups drained without replacement (elastic
+	// scale-down — Shrink).
+	Shrunk int
+	// Grown counts groups added beyond replacements (elastic scale-up
+	// — Grow).
+	Grown int
 	// Dispatched counts client connections proxied to a group.
 	Dispatched int64
 	// DispatchErrors counts client connections the dispatcher could not
@@ -55,8 +84,8 @@ type Stats struct {
 // String renders a one-line fleet summary plus a per-group table.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d dispatched (%d errors)",
-		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Dispatched, s.DispatchErrors)
+	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d rotated, %d dispatched (%d errors)",
+		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Rotated, s.Dispatched, s.DispatchErrors)
 	for _, g := range s.Healthy {
 		fmt.Fprintf(&b, "\n  group %d port=%d n=%d w=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.Variants, g.Workers, g.R1, g.Inflight, g.Served)
 	}

@@ -1,0 +1,451 @@
+package mesh
+
+// The mesh rotation campaign: sweep pool count P × rotation on/off ×
+// attack on/off from one seed and emit a deterministic JSON matrix of
+// availability-under-rotation, attacker-exposure-window percentiles,
+// and detection results.
+//
+// Byte-identical replay is a hard requirement (same contract as the
+// chaos campaign), so the matrix records only values that are
+// functions of the seed: serialized benign-phase outcome counts,
+// settled rotation/detection counters, and exposure windows measured
+// in *virtual time ticks* — each retired group's deterministic
+// teardown VTime from the audit trail, never a wall-clock quantity.
+// Determinism hinges on two serializations: benign requests block on
+// RotationsHandled after every trigger tick (so a rotating group's
+// rendezvous count cannot race the next dispatch), and attack probes
+// strike a routed pool's oldest group directly, one at a time.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/fleet"
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/obs"
+	"nvariant/internal/simnet"
+	"nvariant/internal/word"
+)
+
+// CampaignConfig sizes a rotation campaign: the runner crosses
+// Pools × rotation on/off × attack on/off into one cell each.
+type CampaignConfig struct {
+	// Seed drives every decision; the same seed reproduces
+	// byte-identical output.
+	Seed int64
+	// Requests is the serialized benign-request count per cell
+	// (default 24).
+	Requests int
+	// Pools lists the shard counts to sweep (default {1, 2, 4}).
+	Pools []int
+	// Groups is each pool's fleet size (default 2). The availability
+	// floor is Groups-1, so every cell has rotation headroom.
+	Groups int
+	// RotateEvery is the rotation cadence in mesh ticks for
+	// rotation-on cells (default 6: Requests/RotateEvery triggers).
+	RotateEvery uint64
+	// Probes is the forged-UID probe count per attack cell (default 2).
+	Probes int
+	// Sessions is the benign session-key count (default 8); requests
+	// round-robin across them so every cell exercises the router.
+	Sessions int
+	// Policy selects key→pool routing (default HashRouting).
+	Policy RouterPolicy
+	// Obs, when set, instruments every cell's stack on the registry.
+	// Metrics record wall-clock data outside the deterministic matrix:
+	// output JSON is byte-identical with and without Obs.
+	Obs *obs.Registry
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Requests <= 0 {
+		c.Requests = 24
+	}
+	if len(c.Pools) == 0 {
+		c.Pools = []int{1, 2, 4}
+	}
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.RotateEvery == 0 {
+		c.RotateEvery = 6
+	}
+	if c.Probes <= 0 {
+		c.Probes = 2
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	return c
+}
+
+// CampaignCell is one P × rotation × attack result.
+type CampaignCell struct {
+	// Pools / Rotation / Attack identify the cell.
+	Pools    int    `json:"pools"`
+	Rotation bool   `json:"rotation"`
+	Attack   string `json:"attack"`
+	// Benign-phase outcomes (serialized, so exact per seed).
+	BenignOK   int `json:"benign_ok"`
+	BenignShed int `json:"benign_shed"`
+	BenignErrs int `json:"benign_errs"`
+	// Availability is BenignOK over all benign outcomes — the
+	// served-under-rotation headline (contract: ≥ 0.99).
+	Availability float64 `json:"availability"`
+	// Rotations / RotationsSkipped are the settled controller
+	// outcomes; Skipped counts availability-floor refusals.
+	Rotations        uint64 `json:"rotations"`
+	RotationsSkipped uint64 `json:"rotations_skipped"`
+	// Exposure-window distribution: each retired group's teardown
+	// VTime in virtual ticks (rendezvous events it lived through — the
+	// attacker's probing window against one mask set). Rotation-off
+	// benign cells have no samples: exposure is unbounded there, which
+	// is the point of rotation.
+	ExposureSamples int    `json:"exposure_samples"`
+	ExposureP50     uint32 `json:"exposure_p50_vticks"`
+	ExposureP99     uint32 `json:"exposure_p99_vticks"`
+	// Attack outcomes: every probe must be detected, nothing may leak,
+	// and benign cells must raise no alarm.
+	Probes          int  `json:"probes"`
+	Detections      int  `json:"detections"`
+	Leaked          bool `json:"leaked"`
+	MissedDetection bool `json:"missed_detection"`
+	FalseAlarm      bool `json:"false_alarm"`
+}
+
+// CampaignSummary is the matrix headline.
+type CampaignSummary struct {
+	Cells            int     `json:"cells"`
+	BenignOK         int     `json:"benign_ok"`
+	BenignShed       int     `json:"benign_shed"`
+	BenignErrs       int     `json:"benign_errs"`
+	MinAvailability  float64 `json:"min_availability"`
+	Rotations        uint64  `json:"rotations"`
+	RotationsSkipped uint64  `json:"rotations_skipped"`
+	Probes           int     `json:"probes"`
+	Detections       int     `json:"detections"`
+	FalseAlarms      int     `json:"false_alarms"`
+	Leaks            int     `json:"leaks"`
+}
+
+// CampaignResult is the full deterministic matrix.
+type CampaignResult struct {
+	Seed        int64           `json:"seed"`
+	Requests    int             `json:"requests_per_cell"`
+	Groups      int             `json:"groups_per_pool"`
+	RotateEvery uint64          `json:"rotate_every"`
+	Policy      string          `json:"policy"`
+	Cells       []CampaignCell  `json:"cells"`
+	Summary     CampaignSummary `json:"summary"`
+}
+
+// JSON renders the matrix with a trailing newline, byte-identical per
+// seed.
+func (r *CampaignResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Check returns the list of contract violations in the matrix:
+// availability under the 99% floor, missed detections, false alarms,
+// leaks, and rotation-on cells that never rotated.
+func (r *CampaignResult) Check() []string {
+	var v []string
+	for _, c := range r.Cells {
+		id := fmt.Sprintf("cell p=%d rotation=%t attack=%s", c.Pools, c.Rotation, c.Attack)
+		if c.Availability < 0.99 {
+			v = append(v, fmt.Sprintf("%s: availability %.4f < 0.99", id, c.Availability))
+		}
+		if c.MissedDetection {
+			v = append(v, id+": missed detection")
+		}
+		if c.FalseAlarm {
+			v = append(v, id+": false alarm")
+		}
+		if c.Leaked {
+			v = append(v, id+": secret leaked")
+		}
+		if c.Rotation && c.Rotations == 0 {
+			v = append(v, id+": rotation enabled but none completed")
+		}
+		if !c.Rotation && c.Rotations != 0 {
+			v = append(v, id+": rotation disabled but counted")
+		}
+	}
+	return v
+}
+
+// Fprint writes the human-readable matrix summary.
+func (r *CampaignResult) Fprint(w io.Writer) {
+	s := r.Summary
+	fmt.Fprintf(w, "Mesh rotation campaign (seed %d, policy %s): %d cells\n", r.Seed, r.Policy, s.Cells)
+	fmt.Fprintf(w, "  benign: %d ok, %d shed, %d errors; min availability %.4f\n",
+		s.BenignOK, s.BenignShed, s.BenignErrs, s.MinAvailability)
+	fmt.Fprintf(w, "  rotations: %d completed, %d skipped at floor; detections %d/%d probes; false alarms %d; leaks %d\n",
+		s.Rotations, s.RotationsSkipped, s.Detections, s.Probes, s.FalseAlarms, s.Leaks)
+	fmt.Fprintf(w, "  %-6s %-9s %-10s %12s %10s %9s %14s %14s\n",
+		"pools", "rotation", "attack", "availability", "rotations", "samples", "exposure-p50", "exposure-p99")
+	for _, c := range r.Cells {
+		p50, p99 := "-", "-"
+		if c.ExposureSamples > 0 {
+			p50 = fmt.Sprintf("%d vt", c.ExposureP50)
+			p99 = fmt.Sprintf("%d vt", c.ExposureP99)
+		}
+		fmt.Fprintf(w, "  %-6d %-9t %-10s %12.4f %10d %9d %14s %14s\n",
+			c.Pools, c.Rotation, c.Attack, c.Availability, c.Rotations, c.ExposureSamples, p50, p99)
+	}
+}
+
+// campaignCellSeed derives one cell's seed from the campaign seed and
+// the cell labels — independent of sweep order.
+func campaignCellSeed(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0x1f})
+	}
+	s := int64(splitmix64(uint64(seed) ^ h.Sum64()))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// benignMix is the serialized benign-phase request mix.
+var benignMix = []string{"/index.html", "/page1.html", "/styles.css"}
+
+// RunCampaign executes the rotation campaign and returns the matrix.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	res := &CampaignResult{
+		Seed:        cfg.Seed,
+		Requests:    cfg.Requests,
+		Groups:      cfg.Groups,
+		RotateEvery: cfg.RotateEvery,
+		Policy:      cfg.Policy.String(),
+	}
+	for _, p := range cfg.Pools {
+		for _, rotation := range []bool{false, true} {
+			for _, att := range []string{"none", "forge-uid"} {
+				cell, err := runCampaignCell(cfg, p, rotation, att)
+				if err != nil {
+					return nil, fmt.Errorf("mesh campaign: cell p=%d rotation=%t attack=%s: %w", p, rotation, att, err)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	res.Summary = summarizeCampaign(res)
+	return res, nil
+}
+
+// runCampaignCell runs one P × rotation × attack cell.
+func runCampaignCell(cfg CampaignConfig, pools int, rotation bool, att string) (CampaignCell, error) {
+	cell := CampaignCell{Pools: pools, Rotation: rotation, Attack: att}
+	seed := campaignCellSeed(cfg.Seed, "mesh", fmt.Sprint(pools), fmt.Sprint(rotation), att)
+
+	opts := Options{
+		Pools:  pools,
+		Policy: cfg.Policy,
+		Seed:   seed,
+		Obs:    cfg.Obs,
+		Fleet: fleet.Options{
+			Groups: cfg.Groups,
+			Config: harness.Config4UIDVariation,
+			Server: httpd.DefaultOptions(),
+		},
+	}
+	if rotation {
+		opts.RotateEvery = cfg.RotateEvery
+	}
+	m, err := New(opts)
+	if err != nil {
+		return cell, err
+	}
+	defer func() { _, _ = m.Stop() }()
+
+	// One sticky session per synthetic client; requests round-robin
+	// across them so dispatch exercises the router's key→pool spread.
+	sessions := make([]*Session, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = m.Session(fmt.Sprintf("client-%d", i))
+	}
+
+	// Benign phase, serialized. After any request whose tick fired a
+	// rotation trigger, block until the controller has fully handled
+	// it (pool replenished) — that serialization is what pins every
+	// group's rendezvous count, and therefore the exposure-window
+	// vticks below, to the seed.
+	for r := 0; r < cfg.Requests; r++ {
+		code, _, err := sessions[r%len(sessions)].Get(benignMix[r%len(benignMix)])
+		switch {
+		case errors.Is(err, ErrSaturated):
+			cell.BenignShed++
+		case err == nil && code == 200:
+			cell.BenignOK++
+		default:
+			cell.BenignErrs++
+		}
+		if rotation {
+			want := m.Ticks() / cfg.RotateEvery
+			if err := m.Await(func(s Stats) bool {
+				return s.RotationsHandled >= want
+			}, 30*time.Second); err != nil {
+				return cell, err
+			}
+		}
+	}
+	cell.Availability = availability(cell.BenignOK, cell.BenignShed, cell.BenignErrs)
+
+	// Attack phase: forged-UID probes against the pool each attacker
+	// key routes to, striking its oldest group directly (the
+	// attacker-knows-a-backend model, same as the chaos fleet cells).
+	// Serialized probe-and-await keeps detection counts settled.
+	if att == "forge-uid" {
+		cell.Probes = cfg.Probes
+		rng := rand.New(rand.NewSource(seed + 3))
+		perPool := make([]int, pools)
+		for i := 0; i < cfg.Probes; i++ {
+			payload := attack.ForgeUIDPayload(word.Word(rng.Uint32()) &^ word.HighBit)
+			pi := m.RouteKey(fmt.Sprintf("attacker-%d", i))
+			f := m.Pool(pi)
+			port, ok := oldestGroupPort(f)
+			if !ok {
+				break
+			}
+			direct := httpd.NewClient(f.Net(), port)
+			detected := false
+			for round := 0; round < 8 && !detected; round++ {
+				if _, err := direct.Raw(payload); errors.Is(err, simnet.ErrRefused) {
+					detected = true
+					break
+				}
+				for t := 0; t < 64 && !detected; t++ {
+					code, body, err := direct.Get("/private/secret.html")
+					switch {
+					case errors.Is(err, simnet.ErrRefused):
+						detected = true
+					case err == nil && code == 200 && httpd.ContainsSecret(body):
+						cell.Leaked = true
+					}
+				}
+			}
+			if !detected {
+				break
+			}
+			perPool[pi]++
+			want := perPool[pi]
+			if err := f.Await(func(s fleet.Stats) bool {
+				return s.Detections >= want && len(s.Healthy) >= cfg.Groups
+			}, 30*time.Second); err != nil {
+				return cell, err
+			}
+		}
+	}
+
+	stats, err := m.Stop()
+	if err != nil {
+		return cell, err
+	}
+	cell.Rotations = stats.Rotations
+	cell.RotationsSkipped = stats.RotationsSkipped
+	for _, ps := range stats.Pools {
+		cell.Detections += ps.Fleet.Detections
+	}
+	cell.MissedDetection = cell.Detections < cell.Probes
+	cell.FalseAlarm = cell.Detections > cell.Probes
+
+	// Exposure windows: every retired group's teardown VTime, in
+	// virtual ticks, from the pools' audit trails. Rotations and
+	// quarantines both end a mask set's exposure; clean departures and
+	// shrinks are not attacker-relevant retirements.
+	var samples []uint32
+	for i := 0; i < m.Pools(); i++ {
+		for _, e := range m.Pool(i).Audit().Entries() {
+			switch e.Action {
+			case "rotate", "rotate+replace", "quarantine", "quarantine+replace":
+				samples = append(samples, e.VTime)
+			}
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	cell.ExposureSamples = len(samples)
+	cell.ExposureP50 = percentileVTicks(samples, 0.50)
+	cell.ExposureP99 = percentileVTicks(samples, 0.99)
+	return cell, nil
+}
+
+// availability is the benign-phase served ratio.
+func availability(ok, shed, errs int) float64 {
+	total := ok + shed + errs
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// percentileVTicks is the nearest-rank percentile of sorted samples.
+func percentileVTicks(sorted []uint32, q float64) uint32 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// oldestGroupPort resolves the port of a pool's longest-lived healthy
+// group — the probes' deterministic victim.
+func oldestGroupPort(f *fleet.Fleet) (uint16, bool) {
+	id := f.OldestGroupID()
+	if id < 0 {
+		return 0, false
+	}
+	for _, g := range f.Stats().Healthy {
+		if g.ID == id {
+			return g.Port, true
+		}
+	}
+	return 0, false
+}
+
+// summarizeCampaign computes the headline from the matrix.
+func summarizeCampaign(r *CampaignResult) CampaignSummary {
+	s := CampaignSummary{Cells: len(r.Cells), MinAvailability: 1}
+	for _, c := range r.Cells {
+		s.BenignOK += c.BenignOK
+		s.BenignShed += c.BenignShed
+		s.BenignErrs += c.BenignErrs
+		if c.Availability < s.MinAvailability {
+			s.MinAvailability = c.Availability
+		}
+		s.Rotations += c.Rotations
+		s.RotationsSkipped += c.RotationsSkipped
+		s.Probes += c.Probes
+		s.Detections += c.Detections
+		if c.FalseAlarm {
+			s.FalseAlarms++
+		}
+		if c.Leaked {
+			s.Leaks++
+		}
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+
+	"nvariant/internal/obs"
+)
+
+// testCampaignConfig is the sweep the determinism tests replay: the
+// full P ∈ {1,2,4} × rotation × attack matrix at reduced per-cell
+// volume so the double-run finishes quickly even under -race.
+func testCampaignConfig(seed int64) CampaignConfig {
+	return CampaignConfig{
+		Seed:        seed,
+		Requests:    12,
+		Pools:       []int{1, 2, 4},
+		Groups:      2,
+		RotateEvery: 4,
+		Probes:      1,
+	}
+}
+
+// TestCampaignByteIdentical: the same seed reproduces the rotation
+// matrix byte for byte — every exposure-window vtick, availability
+// ratio, and rotation count is a function of the seed alone. The CI
+// mesh-smoke job replays this cross-process (and against -race) via
+// cmd/meshbench; this test pins it in-tree.
+func TestCampaignByteIdentical(t *testing.T) {
+	cfg := testCampaignConfig(42)
+	r1, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := r2.JSON()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed campaign not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", b1, b2)
+	}
+	if v := r1.Check(); len(v) != 0 {
+		t.Fatalf("campaign contract violations: %v\n%s", v, b1)
+	}
+
+	// The matrix's own shape: rotation-on cells rotated and sampled
+	// exposure windows; rotation-off benign cells must have none
+	// (their exposure is unbounded — the point of rotation).
+	for _, c := range r1.Cells {
+		switch {
+		case c.Rotation && c.ExposureSamples == 0:
+			t.Errorf("cell p=%d rotation=on attack=%s: no exposure samples", c.Pools, c.Attack)
+		case !c.Rotation && c.Attack == "none" && c.ExposureSamples != 0:
+			t.Errorf("cell p=%d rotation=off benign: %d exposure samples, want 0", c.Pools, c.ExposureSamples)
+		}
+		if c.Rotation && c.ExposureP99 < c.ExposureP50 {
+			t.Errorf("cell p=%d: exposure P99 %d < P50 %d", c.Pools, c.ExposureP99, c.ExposureP50)
+		}
+	}
+	if r1.Summary.MinAvailability < 0.99 {
+		t.Errorf("min availability %.4f < 0.99", r1.Summary.MinAvailability)
+	}
+}
+
+// TestCampaignInstrumentationPreservesJSON: attaching an obs registry
+// must not perturb the matrix — metrics record wall-clock data outside
+// the deterministic output.
+func TestCampaignInstrumentationPreservesJSON(t *testing.T) {
+	cfg := CampaignConfig{Seed: 17, Requests: 8, Pools: []int{2}, Groups: 2, RotateEvery: 4, Probes: 1}
+	plain, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.NewRegistry()
+	instr, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := plain.JSON()
+	ib, _ := instr.JSON()
+	if !bytes.Equal(pb, ib) {
+		t.Fatalf("instrumentation changed the matrix:\n--- plain ---\n%s\n--- instrumented ---\n%s", pb, ib)
+	}
+	// And the registry actually saw the campaign.
+	var text bytes.Buffer
+	if err := cfg.Obs.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"mesh_dispatched_total", "mesh_rotations_total", "mesh_exposure_window_seconds", "mesh_pool_healthy_groups"} {
+		if !bytes.Contains(text.Bytes(), []byte(family)) {
+			t.Errorf("registry missing %s after instrumented campaign", family)
+		}
+	}
+}
+
+// TestCampaignCheckFlagsViolations: Check is the CI gate — make sure
+// it actually fires on a bad matrix.
+func TestCampaignCheckFlagsViolations(t *testing.T) {
+	r := &CampaignResult{Cells: []CampaignCell{
+		{Pools: 2, Rotation: true, Attack: "none", Availability: 0.5, Rotations: 0},
+		{Pools: 2, Rotation: false, Attack: "forge-uid", Availability: 1,
+			Probes: 2, Detections: 1, MissedDetection: true, Leaked: true},
+	}}
+	v := r.Check()
+	if len(v) != 4 {
+		t.Fatalf("Check found %d violations, want 4 (availability, no-rotation, missed, leak): %v", len(v), v)
+	}
+}

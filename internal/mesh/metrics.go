@@ -1,0 +1,56 @@
+package mesh
+
+import (
+	"strconv"
+
+	"nvariant/internal/obs"
+)
+
+// metrics is the mesh's registered metric set, created when
+// Options.Obs is set. Dispatch-path updates are atomic adds — the
+// instrumented session adds no allocations (see
+// TestMeshSessionAddsNoAllocs). Series owned by this layer:
+//
+//	mesh_dispatched_total            dispatches completed through sessions
+//	mesh_shed_total                  dispatches refused by admission control
+//	mesh_rotations_total             moving-target rotations completed
+//	mesh_rotations_skipped_total     rotation triggers skipped at the availability floor
+//	mesh_grows_total                 elastic group additions across pools
+//	mesh_shrinks_total               elastic group retirements across pools
+//	mesh_rotation_drain_seconds      rotation start → pool replenished
+//	mesh_exposure_window_seconds     rotated group's age: how long its masks were exposed
+//	mesh_pool_healthy_groups{pool}   per-shard healthy group count (sampled)
+type metrics struct {
+	dispatched *obs.Counter
+	shed       *obs.Counter
+	rotations  *obs.Counter
+	rotSkipped *obs.Counter
+	grows      *obs.Counter
+	shrinks    *obs.Counter
+	drain      *obs.Histogram
+	exposure   *obs.Histogram
+}
+
+// newMetrics registers the mesh metric set on reg, including one
+// healthy-groups gauge per pool labeled by shard index.
+func newMetrics(reg *obs.Registry, m *Mesh) *metrics {
+	mm := &metrics{
+		dispatched: reg.Counter("mesh_dispatched_total", "Dispatches completed through mesh sessions."),
+		shed:       reg.Counter("mesh_shed_total", "Dispatches refused by per-pool admission control."),
+		rotations:  reg.Counter("mesh_rotations_total", "Moving-target rotations completed (drain + fresh-spec replace)."),
+		rotSkipped: reg.Counter("mesh_rotations_skipped_total", "Rotation triggers skipped at the availability floor."),
+		grows:      reg.Counter("mesh_grows_total", "Elastic group additions across pools."),
+		shrinks:    reg.Counter("mesh_shrinks_total", "Elastic group retirements across pools."),
+		drain: reg.Histogram("mesh_rotation_drain_seconds",
+			"Rotation start to pool replenished with the replacement group.", nil),
+		exposure: reg.Histogram("mesh_exposure_window_seconds",
+			"Rotated group's age at drain: how long one mask set stayed exposed.", nil),
+	}
+	for _, p := range m.pools {
+		f := p.fleet
+		reg.GaugeFunc("mesh_pool_healthy_groups", "Healthy groups in this shard (sampled).",
+			func() float64 { return float64(f.HealthyCount()) },
+			obs.L("pool", strconv.Itoa(p.id)))
+	}
+	return mm
+}

@@ -1,0 +1,150 @@
+package mesh
+
+// The router maps session keys to pools. Routing happens once, at
+// Session creation; the per-request hot path (Session.Fetch) is pool
+// admission + the fleet client, and adds no allocations on top of it
+// (see TestMeshSessionAddsNoAllocs).
+
+import (
+	"nvariant/internal/httpd"
+)
+
+// hashKey is FNV-1a over the key bytes — allocation-free, unlike
+// hash/fnv's boxed hash.Hash64.
+func hashKey(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hrw picks the key's rendezvous (highest-random-weight) pool: the
+// shard whose seeded salt mixes with the key hash to the largest
+// weight. Every key has a stable home, and adding or removing a pool
+// would remap only the minimal 1/P share of keys.
+func (m *Mesh) hrw(kh uint64) *pool {
+	best, bestW := 0, uint64(0)
+	for i, salt := range m.salts {
+		if w := splitmix64(kh ^ salt); i == 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return m.pools[best]
+}
+
+// routePool resolves key → pool under the configured policy.
+func (m *Mesh) routePool(key string) *pool {
+	kh := hashKey(key)
+	if m.opts.Policy == AffinityRouting {
+		return m.affinityPool(kh)
+	}
+	return m.hrw(kh)
+}
+
+// affinityPool implements sticky routing: the first session with an
+// unclaimed table slot claims it for a round-robin-assigned pool (so
+// load spreads regardless of key skew), and every later session with
+// the same key sticks to that pool. A slot already claimed by a
+// different key fingerprint falls back to rendezvous hashing — still
+// deterministic per key, just not sticky-assignable.
+func (m *Mesh) affinityPool(kh uint64) *pool {
+	slot := &m.affinity[kh%uint64(len(m.affinity))]
+	// Pack: high 48 bits fingerprint, low 16 bits pool index + 1
+	// (nonzero marks the slot claimed).
+	fp := kh &^ 0xFFFF
+	for {
+		e := slot.Load()
+		if e == 0 {
+			p := int(m.rrAssign.Add(1)-1) % len(m.pools)
+			if slot.CompareAndSwap(0, fp|uint64(p+1)) {
+				return m.pools[p]
+			}
+			continue // lost the claim race; re-read
+		}
+		if e&^0xFFFF == fp {
+			return m.pools[int(e&0xFFFF)-1]
+		}
+		return m.hrw(kh)
+	}
+}
+
+// RouteKey reports the pool index a key resolves to (claiming its
+// affinity slot under AffinityRouting, exactly as Session would).
+func (m *Mesh) RouteKey(key string) int { return m.routePool(key).id }
+
+// Session is one client's sticky handle on its routed pool. Create it
+// once per logical client (routing and client setup allocate), then
+// dispatch through it — Fetch adds no allocations on top of the
+// fleet's own dispatch path.
+type Session struct {
+	mesh   *Mesh
+	pool   *pool
+	client *httpd.Client
+}
+
+// Session routes key to its pool and returns a dispatch handle.
+func (m *Mesh) Session(key string) *Session {
+	p := m.routePool(key)
+	return &Session{mesh: m, pool: p, client: httpd.NewClient(p.fleet.Net(), p.fleet.Port())}
+}
+
+// PoolIndex reports which shard the session landed on.
+func (s *Session) PoolIndex() int { return s.pool.id }
+
+// Client exposes the session's underlying pool client (for WaitReady
+// and raw probes in tests).
+func (s *Session) Client() *httpd.Client { return s.client }
+
+// admit runs pool admission; on refusal the dispatch is shed.
+func (s *Session) admit() bool {
+	if s.pool.admit(int64(s.mesh.opts.MaxInflight)) {
+		return true
+	}
+	s.pool.shed.Add(1)
+	if s.mesh.obs != nil {
+		s.mesh.obs.shed.Inc()
+	}
+	return false
+}
+
+// done releases the admission slot and advances the mesh clock.
+func (s *Session) done() {
+	s.pool.inflight.Add(-1)
+	s.pool.served.Add(1)
+	s.mesh.tick()
+}
+
+// Fetch dispatches a prebuilt request to the session's pool and
+// returns status code and body length without retaining the response —
+// the zero-allocation hot path.
+func (s *Session) Fetch(req []byte) (code, bodyLen int, err error) {
+	if !s.admit() {
+		return 0, 0, ErrSaturated
+	}
+	code, bodyLen, err = s.client.Fetch(req)
+	s.done()
+	return code, bodyLen, err
+}
+
+// Get dispatches a GET for uri and returns status and body.
+func (s *Session) Get(uri string) (int, []byte, error) {
+	if !s.admit() {
+		return 0, nil, ErrSaturated
+	}
+	code, body, err := s.client.Get(uri)
+	s.done()
+	return code, body, err
+}
+
+// Raw dispatches an arbitrary payload (the campaign's attack probes)
+// and returns the raw response bytes.
+func (s *Session) Raw(payload []byte) ([]byte, error) {
+	if !s.admit() {
+		return nil, ErrSaturated
+	}
+	raw, err := s.client.Raw(payload)
+	s.done()
+	return raw, err
+}

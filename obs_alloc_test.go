@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"nvariant/internal/fleet"
+	"nvariant/internal/httpd"
+	"nvariant/internal/mesh"
 	"nvariant/internal/nvkernel"
 	"nvariant/internal/obs"
 	"nvariant/internal/reexpress"
@@ -122,5 +124,61 @@ func TestInstrumentedDispatchAddsNoAllocs(t *testing.T) {
 	if instrumented > plain {
 		t.Errorf("instrumented dispatch allocates %v/op vs %v/op plain — instrumentation must add 0",
 			instrumented, plain)
+	}
+}
+
+// TestMeshSessionAddsNoAllocs is the differential proof for the mesh
+// router: the session hot path (admission + routing bookkeeping + mesh
+// clock) must allocate exactly what a bare fleet dispatch does, with
+// or without instrumentation.
+func TestMeshSessionAddsNoAllocs(t *testing.T) {
+	req := httpd.AppendRequest(nil, "/index.html")
+
+	fleetBaseline := func() float64 {
+		f, err := fleet.New(fleet.Options{Groups: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _, _ = f.Stop() }()
+		client := f.Client()
+		fetch := func() {
+			code, _, err := client.Fetch(req)
+			if err != nil || code != 200 {
+				t.Fatalf("fleet fetch: %d %v", code, err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			fetch()
+		}
+		return testing.AllocsPerRun(200, fetch)
+	}
+
+	meshSession := func(reg *obs.Registry) float64 {
+		m, err := mesh.New(mesh.Options{Pools: 2, MaxInflight: 64, Obs: reg, Fleet: fleet.Options{Groups: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _, _ = m.Stop() }()
+		s := m.Session("alloc-probe")
+		fetch := func() {
+			code, _, err := s.Fetch(req)
+			if err != nil || code != 200 {
+				t.Fatalf("mesh fetch: %d %v", code, err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			fetch()
+		}
+		return testing.AllocsPerRun(200, fetch)
+	}
+
+	plainFleet := fleetBaseline()
+	plainMesh := meshSession(nil)
+	instrMesh := meshSession(obs.NewRegistry())
+	if plainMesh > plainFleet {
+		t.Errorf("mesh session allocates %v/op vs %v/op bare fleet — the router must add 0", plainMesh, plainFleet)
+	}
+	if instrMesh > plainMesh {
+		t.Errorf("instrumented mesh session allocates %v/op vs %v/op plain — instrumentation must add 0", instrMesh, plainMesh)
 	}
 }
