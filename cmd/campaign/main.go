@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/campaign -seed 1 -check
 //	go run ./cmd/campaign -seed 1 -fault-only -check   # transparency matrix
+//	go run ./cmd/campaign -seed 1 -quorum -check       # K-of-N survival matrix
 package main
 
 import (
@@ -38,6 +39,7 @@ func run() error {
 		attacks   = flag.String("attacks", "", "comma-separated scenario names; 'none' is the benign cell (empty = none + full corpus)")
 		faults    = flag.String("faults", "", "comma-separated fault plans; 'all' = every standard plan (empty = config default)")
 		faultOnly = flag.Bool("fault-only", false, "transparency campaign: transparent faults only, no attacks, N in {2,3,5}, W in {1,4}")
+		quorum    = flag.Bool("quorum", false, "quorum campaign: crash/stall survival and quorum-lost cells at K=2 plus fleet eviction/respawn cells")
 		noFleet   = flag.Bool("no-fleet", false, "skip the fleet restart/recovery section")
 		noSweep   = flag.Bool("no-bytesweep", false, "skip the word-level mask-byte brute force")
 		check     = flag.Bool("check", false, "exit non-zero if the matrix violates the detection / false-alarm contract")
@@ -49,6 +51,9 @@ func run() error {
 	cfg := chaos.DefaultConfig(*seed)
 	if *faultOnly {
 		cfg = chaos.FaultOnlyConfig(*seed)
+	}
+	if *quorum {
+		cfg = chaos.QuorumConfig(*seed)
 	}
 	if *requests > 0 {
 		cfg.Requests = *requests

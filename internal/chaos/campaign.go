@@ -80,6 +80,14 @@ type Config struct {
 	FleetGroups int
 	// FleetProbes is the fleet section's forge-probe count.
 	FleetProbes int
+	// Quorum, when K ≥ 1, adds the quorum section: the crash and
+	// deadline-stall fault plans (excluded from the headline detection
+	// rate in unanimous mode) run as quorum-survival cells against
+	// K-of-(K+1) groups — gating availability across the fault, the
+	// eviction record, and post-fault divergence detection among the
+	// live variants — plus quorum-lost cells at N = K and, when Fleet
+	// is set, fleet cells gating eviction/respawn accounting.
+	Quorum int
 	// Obs, when set, instruments every cell's kernel, network, server,
 	// and fleet on the registry. Metrics record wall-clock data outside
 	// the deterministic matrix: output JSON is byte-identical with and
@@ -111,6 +119,7 @@ func DefaultConfig(seed int64) Config {
 		Fleet:       true,
 		FleetGroups: 2,
 		FleetProbes: 2,
+		Quorum:      2,
 	}
 }
 
@@ -127,6 +136,22 @@ func FaultOnlyConfig(seed int64) Config {
 		Stacks:        []string{StackFull},
 		Attacks:       []attack.Scenario{NoAttack()},
 		Faults:        TransparentPlans(),
+	}
+}
+
+// QuorumConfig is the dedicated quorum campaign at the given seed: the
+// crash and stall survival/quorum-lost cells at K = 2 plus the fleet
+// eviction/respawn cells, with no attack × fault crossing. Its matrix
+// must show the K=2-of-3 groups surviving one crash and one stall at
+// 100% availability, detecting the divergence probe among the live
+// variants, and zero false alarms — byte-identical per seed.
+func QuorumConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Requests:    8,
+		Quorum:      2,
+		Fleet:       true,
+		FleetGroups: 2,
 	}
 }
 
@@ -209,7 +234,12 @@ type FaultSummary struct {
 	FalseAlarms        int     `json:"false_alarms"`
 }
 
-// Summary is the campaign headline.
+// Summary is the campaign headline. The quorum probe detections fold
+// into ExpectedDetections / Detections: in quorum mode a crash-plan
+// cell *does* count toward the headline rate again — what it must
+// detect is the divergence probe among the live variants, not the
+// fault itself. The Quorum* fields are zero (and omitted from JSON)
+// when the campaign has no quorum section.
 type Summary struct {
 	Cells              int            `json:"cells"`
 	ExpectedDetections int            `json:"expected_detections"`
@@ -219,18 +249,24 @@ type Summary struct {
 	DefendedLeaks      int            `json:"defended_leaks"`
 	UndefendedLeaks    int            `json:"undefended_leaks"`
 	DetectionRate      float64        `json:"detection_rate"`
+	QuorumCells        int            `json:"quorum_cells,omitempty"`
+	QuorumSurvived     int            `json:"quorum_survived,omitempty"`
+	QuorumEvictions    int            `json:"quorum_evictions,omitempty"`
+	QuorumRespawns     int            `json:"quorum_respawns,omitempty"`
 	PerFault           []FaultSummary `json:"per_fault"`
 }
 
 // Result is the campaign's full matrix. Marshalling it (JSON) is
 // byte-identical across runs with the same Config.
 type Result struct {
-	Seed       int64          `json:"seed"`
-	Requests   int            `json:"requests"`
-	Cells      []Cell         `json:"cells"`
-	ByteSweeps []ByteSweepRow `json:"byte_sweeps,omitempty"`
-	Fleet      []FleetCell    `json:"fleet,omitempty"`
-	Summary    Summary        `json:"summary"`
+	Seed        int64             `json:"seed"`
+	Requests    int               `json:"requests"`
+	Cells       []Cell            `json:"cells"`
+	ByteSweeps  []ByteSweepRow    `json:"byte_sweeps,omitempty"`
+	Fleet       []FleetCell       `json:"fleet,omitempty"`
+	Quorum      []QuorumCell      `json:"quorum,omitempty"`
+	QuorumFleet []QuorumFleetCell `json:"quorum_fleet,omitempty"`
+	Summary     Summary           `json:"summary"`
 }
 
 // JSON renders the matrix deterministically.
@@ -275,6 +311,42 @@ func (r *Result) Check() []string {
 		}
 		if f.Leaked {
 			v = append(v, id+": secret leaked through the dispatcher")
+		}
+	}
+	for _, q := range r.Quorum {
+		id := fmt.Sprintf("quorum %s/%s n=%d k=%d", q.Scenario, q.Fault, q.N, q.K)
+		switch {
+		case q.ExpectSurvive && !q.Survived:
+			v = append(v, fmt.Sprintf("%s: group did not survive the fault (%d/%d benign ok, %d evicted)",
+				id, q.BenignOK, q.BenignOK+q.BenignErrs, q.Evicted))
+		case q.ExpectSurvive && q.Evicted != 1:
+			v = append(v, fmt.Sprintf("%s: %d evictions, want exactly 1", id, q.Evicted))
+		case !q.ExpectSurvive && q.AlarmReason != nvkernel.ReasonQuorumLost.String():
+			v = append(v, fmt.Sprintf("%s: alarm %q, want quorum-lost", id, q.AlarmReason))
+		}
+		if q.MissedDetection && q.ExpectSurvive {
+			v = append(v, id+": divergence probe not detected in degraded mode")
+		}
+		if q.FalseAlarm {
+			v = append(v, fmt.Sprintf("%s: false alarm (%s)", id, q.AlarmReason))
+		}
+		if q.Leaked {
+			v = append(v, id+": secret leaked from a degraded group")
+		}
+	}
+	for _, q := range r.QuorumFleet {
+		id := fmt.Sprintf("quorum-fleet %s", q.Fault)
+		if q.BenignErrs > 0 {
+			v = append(v, fmt.Sprintf("%s: %d benign errors across the fault, want full availability", id, q.BenignErrs))
+		}
+		if q.Evictions < 1 || q.Respawned < 1 || q.MissedRespawn {
+			v = append(v, fmt.Sprintf("%s: evicted %d / respawned %d, want >= 1 each", id, q.Evictions, q.Respawned))
+		}
+		if q.DegradedEnd != 0 {
+			v = append(v, fmt.Sprintf("%s: %d groups still degraded after settle", id, q.DegradedEnd))
+		}
+		if q.FalseAlarm {
+			v = append(v, fmt.Sprintf("%s: fault counted as %d detections", id, q.Detections))
 		}
 	}
 	return v
@@ -329,6 +401,20 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("chaos: fleet cell %s: %w", plan.Name, err)
 			}
 			res.Fleet = append(res.Fleet, fc)
+		}
+	}
+	if cfg.Quorum > 0 {
+		cells, err := runQuorumCells(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Quorum = cells
+		if cfg.Fleet {
+			fcs, err := runQuorumFleetCells(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.QuorumFleet = fcs
 		}
 	}
 	res.Summary = summarize(cfg, res)
@@ -703,6 +789,35 @@ func summarize(cfg Config, r *Result) Summary {
 			}
 		}
 	}
+	for _, q := range r.Quorum {
+		s.QuorumCells++
+		if q.Survived {
+			s.QuorumSurvived++
+		}
+		s.QuorumEvictions += q.Evicted
+		if q.ExpectSurvive {
+			// The re-included crash/stall cells count toward the headline
+			// rate through their divergence probes.
+			s.ExpectedDetections++
+			if q.ProbeDetected {
+				s.Detections++
+			}
+		}
+		if q.MissedDetection {
+			s.MissedDetections++
+		}
+		if q.FalseAlarm {
+			s.FalseAlarms++
+		}
+	}
+	for _, q := range r.QuorumFleet {
+		s.QuorumCells++
+		s.QuorumEvictions += q.Evictions
+		s.QuorumRespawns += q.Respawned
+		if q.FalseAlarm {
+			s.FalseAlarms++
+		}
+	}
 	if s.ExpectedDetections > 0 {
 		s.DetectionRate = float64(s.Detections) / float64(s.ExpectedDetections)
 	}
@@ -742,6 +857,14 @@ func (r *Result) Fprint(w io.Writer) {
 	for _, fc := range r.Fleet {
 		fmt.Fprintf(w, "  fleet %-14s: %d ok / %d errs, %d restarts, %d/%d probes detected, spawned %d, replaced %d, leaked %v\n",
 			fc.Fault, fc.BenignOK, fc.BenignErrs, fc.Restarts, fc.Detections, fc.Probes, fc.Spawned, fc.Replaced, fc.Leaked)
+	}
+	for _, q := range r.Quorum {
+		fmt.Fprintf(w, "  quorum %-12s %-14s n=%d k=%d: %d ok / %d errs, survived %v, evicted %d (%s), probe-detected %v (%s)\n",
+			q.Scenario, q.Fault, q.N, q.K, q.BenignOK, q.BenignErrs, q.Survived, q.Evicted, q.EvictedKind, q.ProbeDetected, q.AlarmReason)
+	}
+	for _, q := range r.QuorumFleet {
+		fmt.Fprintf(w, "  quorum-fleet %-14s n=%d k=%d: %d ok / %d errs, evicted %d, respawned %d, degraded-end %d, detections %d\n",
+			q.Fault, q.N, q.K, q.BenignOK, q.BenignErrs, q.Evictions, q.Respawned, q.DegradedEnd, q.Detections)
 	}
 	if v := r.Check(); len(v) > 0 {
 		fmt.Fprintf(w, "  VIOLATIONS (%d):\n", len(v))

@@ -127,6 +127,17 @@ type KernelPlan struct {
 	// CrashAfter is the occurrence count that triggers the crash
 	// (1 = the first CrashCall).
 	CrashAfter int
+	// StallVariant, when StallAfter > 0, hard-stalls that variant for
+	// Stall at its StallAfter-th issue of StallCall (same group-wide
+	// occurrence counting as the crash trigger). Unlike StallRate this
+	// is a single deterministic stall sized to blow the rendezvous
+	// deadline — the stall-fault a quorum must evict.
+	StallVariant int
+	// StallCall is the syscall kind the deterministic stall triggers on.
+	StallCall sys.Num
+	// StallAfter is the occurrence count that triggers the stall
+	// (0 = disabled).
+	StallAfter int
 }
 
 // Hook builds the seeded kernel fault hook for the plan. Stall
@@ -160,6 +171,9 @@ func (h *kernelHook) PreSyscall(worker, variant int, num sys.Num) (time.Duration
 	p := &h.plan
 	if p.CrashAfter > 0 && variant == p.CrashVariant && num == p.CrashCall && c == uint64(p.CrashAfter) {
 		return 0, true
+	}
+	if p.StallAfter > 0 && variant == p.StallVariant && num == p.StallCall && c == uint64(p.StallAfter) {
+		return p.Stall, false
 	}
 	if p.StallRate > 0 {
 		x := mix64(h.seed ^ mix64(uint64(variant)<<32|uint64(num)) ^ c)

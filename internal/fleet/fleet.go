@@ -105,6 +105,14 @@ type Options struct {
 	// Kernel holds extra kernel options every spawned group (initial
 	// or replacement) is built with — e.g. a chaos fault hook.
 	Kernel []nvkernel.Option
+	// Quorum, when K ≥ 1, runs every group's rendezvous in K-of-N
+	// degraded mode: a variant fault with ≥ K live survivors evicts the
+	// faulted variant instead of killing the group, the fleet records
+	// the eviction in the audit log, and the degraded group is drained
+	// and respawned in the background with a freshly generated spec
+	// (the moving-target rotate machinery). 0 keeps the unanimous
+	// contract: any variant fault kills the group.
+	Quorum int
 	// Obs, when set, instruments the whole stack under this fleet:
 	// fleet dispatch/quarantine series plus the kernel, simnet, and
 	// httpd metric sets of every group (replacements included) are
@@ -165,6 +173,8 @@ type Fleet struct {
 	rotated     int
 	shrunk      int
 	grown       int
+	evictions   int
+	respawned   int
 	closed      bool
 
 	// rngMu guards rng separately from mu: mask selection scans a
@@ -290,7 +300,7 @@ func (f *Fleet) spawn() (*group, error) {
 		r1 = spec.VariantName(1)
 		variants = spec.N()
 	}
-	h, err := harness.StartSpec(f.net, f.specFor(port, spec))
+	h, err := harness.StartSpec(f.net, f.specFor(id, port, spec))
 	if err != nil {
 		f.mu.Lock()
 		f.freePorts = append(f.freePorts, port)
@@ -361,6 +371,11 @@ func (f *Fleet) groupExited(g *group) {
 			if f.obs != nil {
 				f.obs.rotations.Inc()
 			}
+		case mode == retireRespawn:
+			f.respawned++
+			if f.obs != nil {
+				f.obs.respawns.Inc()
+			}
 		case mode == retireShrink:
 			f.shrunk++
 		case alarmed || !clean:
@@ -401,6 +416,10 @@ func (f *Fleet) groupExited(g *group) {
 		act = "rotate"
 		entry.Action = act
 		entry.Detail = "proactive rotation (drained)"
+	case mode == retireRespawn:
+		act = "respawn"
+		entry.Action = act
+		entry.Detail = "degraded group respawned at full width (drained)"
 	case mode == retireShrink:
 		// Elastic downsizing: the drained slot is retired for good, so
 		// no replacement is spawned and the record is final here.
@@ -525,10 +544,18 @@ func (f *Fleet) Stats() Stats {
 		Rotated:        f.rotated,
 		Shrunk:         f.shrunk,
 		Grown:          f.grown,
+		Evictions:      f.evictions,
+		Respawned:      f.respawned,
 		Dispatched:     f.dispatched.Load(),
 		DispatchErrors: f.dispatchErrors.Load(),
 	}
 	for _, g := range f.groups {
+		if g.degraded.Load() {
+			// Degraded groups (draining toward respawn included) still
+			// serve on their quorum; the count is the availability
+			// exposure the mesh aggregates.
+			s.DegradedGroups++
+		}
 		if g.retire != retireNone {
 			// Draining groups are still finishing in-flight work but no
 			// longer count toward serving capacity.
@@ -618,6 +645,19 @@ func (f *Fleet) LiveGroups() []GroupInfo {
 // snapshot, so rotation schedulers may call it on hot paths.
 func (f *Fleet) HealthyCount() int { return len(*f.pool.Load()) }
 
+// DegradedCount returns the number of dispatch-pool groups currently
+// serving on a K-of-N quorum (evicted variant, respawn pending).
+// Lock-free like HealthyCount, so availability gauges may sample it.
+func (f *Fleet) DegradedCount() int {
+	n := 0
+	for _, g := range *f.pool.Load() {
+		if g.degraded.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // Grow spawns one additional group with a freshly generated spec and
 // returns its id — the elastic scale-up hook. The new group enters the
 // dispatch pool as soon as it is listening.
@@ -649,6 +689,64 @@ func (f *Fleet) Rotate(id int, drainFor time.Duration) error {
 // returns to the recycling pool.
 func (f *Fleet) Shrink(id int, drainFor time.Duration) error {
 	return f.retire(id, retireShrink, drainFor)
+}
+
+// respawnDrain bounds how long a degraded group's in-flight
+// connections get to finish before the respawn closes its listener.
+const respawnDrain = 2 * time.Second
+
+// variantEvicted is the kernel's per-group eviction hook (threaded via
+// WithEvictionHook in specFor): group id lost a variant to a fault but
+// survived on its quorum. The fleet appends an "evict" audit entry,
+// marks the group degraded (the availability accounting mesh pools
+// aggregate), and — on the group's first eviction — schedules a
+// background respawn: the degraded group is drained and replaced by a
+// fresh full-width group with newly selected reexpression functions,
+// reusing the moving-target rotate machinery. An evicted slot never
+// rejoins its old group; the whole group is re-expressed.
+//
+// Called from a lane monitor goroutine with no kernel locks held, so
+// the retire (which waits out the drain) must run in the background:
+// the monitor keeps serving the surviving quorum meanwhile.
+func (f *Fleet) variantEvicted(id int, ev nvkernel.Eviction) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	var g *group
+	for _, cur := range f.groups {
+		if cur.id == id {
+			g = cur
+			break
+		}
+	}
+	if g == nil {
+		// The group already left the roster (quarantine racing the
+		// eviction): nothing to degrade.
+		f.mu.Unlock()
+		return
+	}
+	f.evictions++
+	first := !g.degraded.Swap(true)
+	entry := f.entryFor(g, "evict")
+	entry.VTime = ev.VTime
+	entry.Detail = fmt.Sprintf("variant %d evicted (%s, worker %d): %d live; %s",
+		ev.Variant, ev.Kind, ev.Worker, ev.Live, ev.Detail)
+	if first {
+		// wg.Add under mu, ordered against Stop's closed=true: either
+		// this respawn is tracked before Stop waits, or closed was seen
+		// above and no goroutine starts.
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			// Already-draining and shutdown races surface as errors here;
+			// both mean someone else is tearing the group down.
+			_ = f.retire(id, retireRespawn, respawnDrain)
+		}()
+	}
+	f.mu.Unlock()
+	f.audit.append(entry)
 }
 
 // retire marks the group as draining, waits (bounded) for its

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nvariant/internal/harness"
+	"nvariant/internal/nvkernel"
 	"nvariant/internal/reexpress"
 )
 
@@ -41,6 +42,11 @@ type group struct {
 	// retireShrink exits are not. Draining groups are filtered from the
 	// dispatch snapshot, so no new connection reaches them.
 	retire retireMode
+	// degraded is set when the group's kernel evicts a variant (quorum
+	// degraded mode): the group keeps serving on its K-of-N quorum
+	// while the fleet respawns it in the background. Atomic because the
+	// kernel's eviction hook fires from lane monitor goroutines.
+	degraded atomic.Bool
 	// inflight counts connections currently proxied to the group.
 	inflight atomic.Int64
 	// served counts connections ever dispatched to the group.
@@ -58,6 +64,10 @@ const (
 	retireRotate
 	// retireShrink: elastic downsizing — drain, no replacement.
 	retireShrink
+	// retireRespawn: a quorum-degraded group is drained and replaced at
+	// full width with a freshly generated spec (the evicted variant's
+	// slot comes back re-expressed, never resurrected in place).
+	retireRespawn
 )
 
 // SelectPair draws a fresh two-variant UID pair: R₀ = identity and
@@ -124,15 +134,27 @@ func (f *Fleet) specForGroup(id int) *reexpress.Spec {
 }
 
 // specFor builds the restartable group description for a pool slot.
-func (f *Fleet) specFor(port uint16, spec *reexpress.Spec) harness.GroupSpec {
-	return harness.GroupSpec{
+// Quorum fleets get a per-group kernel option slice: the eviction hook
+// closes over the group id, and appending it onto the shared
+// f.opts.Kernel would race sibling spawns.
+func (f *Fleet) specFor(id int, port uint16, spec *reexpress.Spec) harness.GroupSpec {
+	gs := harness.GroupSpec{
 		Config:    f.opts.Config,
 		Server:    f.opts.Server,
 		Port:      port,
 		Diversity: spec,
 		Workers:   f.opts.Workers,
 		Kernel:    f.opts.Kernel,
+		Quorum:    f.opts.Quorum,
 	}
+	if f.opts.Quorum > 0 {
+		kopts := make([]nvkernel.Option, len(f.opts.Kernel), len(f.opts.Kernel)+1)
+		copy(kopts, f.opts.Kernel)
+		gs.Kernel = append(kopts, nvkernel.WithEvictionHook(func(ev nvkernel.Eviction) {
+			f.variantEvicted(id, ev)
+		}))
+	}
+	return gs
 }
 
 // String identifies the group in logs.

@@ -18,9 +18,11 @@ import (
 //	fleet_quarantines_total          groups pruned from the pool
 //	fleet_replacements_total         replacement groups spawned
 //	fleet_rotations_total            healthy groups drained + replaced proactively
+//	fleet_respawns_total             degraded groups drained + respawned after an eviction
 //	fleet_exposure_window_seconds    alarm raise → replacement registered
 //	fleet_group_lifetime_seconds     group spawn → exit (one mask set's exposure)
 //	fleet_healthy_groups             current pool size (sampled)
+//	fleet_degraded_groups            groups serving on a K-of-N quorum (sampled)
 //	fleet_oldest_group_age_seconds   age of the longest-lived pool member (sampled)
 type metrics struct {
 	dispatched     *obs.Counter
@@ -30,6 +32,7 @@ type metrics struct {
 	quarantines    *obs.Counter
 	replacements   *obs.Counter
 	rotations      *obs.Counter
+	respawns       *obs.Counter
 	exposure       *obs.Histogram
 	lifetime       *obs.Histogram
 }
@@ -47,6 +50,7 @@ func newMetrics(reg *obs.Registry, f *Fleet) *metrics {
 		quarantines:    reg.Counter("fleet_quarantines_total", "Groups pruned from the pool."),
 		replacements:   reg.Counter("fleet_replacements_total", "Replacement groups spawned."),
 		rotations:      reg.Counter("fleet_rotations_total", "Healthy groups drained and replaced proactively."),
+		respawns:       reg.Counter("fleet_respawns_total", "Degraded groups drained and respawned after a quorum eviction."),
 		exposure: reg.Histogram("fleet_exposure_window_seconds",
 			"Alarm raise to replacement group registered.", nil),
 		lifetime: reg.Histogram("fleet_group_lifetime_seconds",
@@ -54,6 +58,8 @@ func newMetrics(reg *obs.Registry, f *Fleet) *metrics {
 	}
 	reg.GaugeFunc("fleet_healthy_groups", "Groups currently in the dispatch pool.",
 		func() float64 { return float64(len(*f.pool.Load())) })
+	reg.GaugeFunc("fleet_degraded_groups", "Groups serving on a K-of-N quorum (evicted variant, respawn pending).",
+		func() float64 { return float64(f.DegradedCount()) })
 	reg.GaugeFunc("fleet_oldest_group_age_seconds", "Age of the longest-lived pool member.",
 		func() float64 {
 			var oldest time.Time

@@ -74,6 +74,16 @@ type Stats struct {
 	// Grown counts groups added beyond replacements (elastic scale-up
 	// — Grow).
 	Grown int
+	// Evictions counts variants evicted by quorum degraded mode across
+	// all groups (the kernel-side faults the fleet absorbed).
+	Evictions int
+	// Respawned counts degraded groups drained and replaced at full
+	// width after an eviction.
+	Respawned int
+	// DegradedGroups is the number of groups currently serving on a
+	// K-of-N quorum (evicted variant, respawn pending) — the
+	// availability exposure the mesh aggregates per pool.
+	DegradedGroups int
 	// Dispatched counts client connections proxied to a group.
 	Dispatched int64
 	// DispatchErrors counts client connections the dispatcher could not
@@ -86,6 +96,9 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet[%s]: %d healthy / %d spawned, %d detections, %d quarantined, %d replaced, %d rotated, %d dispatched (%d errors)",
 		s.Policy, len(s.Healthy), s.Spawned, s.Detections, s.Quarantined, s.Replaced, s.Rotated, s.Dispatched, s.DispatchErrors)
+	if s.Evictions > 0 || s.Respawned > 0 || s.DegradedGroups > 0 {
+		fmt.Fprintf(&b, ", %d evicted, %d respawned, %d degraded", s.Evictions, s.Respawned, s.DegradedGroups)
+	}
 	for _, g := range s.Healthy {
 		fmt.Fprintf(&b, "\n  group %d port=%d n=%d w=%d r1=%s inflight=%d served=%d", g.ID, g.Port, g.Variants, g.Workers, g.R1, g.Inflight, g.Served)
 	}

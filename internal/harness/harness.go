@@ -92,6 +92,11 @@ type GroupSpec struct {
 	// here, so a fleet's replacement groups inherit the same fault
 	// plan as the group they replace.
 	Kernel []nvkernel.Option
+	// Quorum, when K ≥ 1, runs the group's rendezvous in K-of-N mode:
+	// variant faults with ≥ K live survivors evict the faulted variant
+	// instead of killing the group (see nvkernel.WithQuorum). 0 keeps
+	// the unanimous contract.
+	Quorum int
 }
 
 // port returns the effective listening port.
@@ -148,6 +153,9 @@ func BuildSpec(world *vos.World, spec GroupSpec) ([]sys.Program, []nvkernel.Opti
 	progs, kopts, err := buildSpec(world, spec)
 	if err != nil {
 		return nil, nil, err
+	}
+	if spec.Quorum > 0 {
+		kopts = append(kopts, nvkernel.WithQuorum(spec.Quorum))
 	}
 	return progs, append(kopts, spec.Kernel...), nil
 }

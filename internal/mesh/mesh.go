@@ -369,6 +369,10 @@ type Stats struct {
 	// Grown / Shrunk are elastic sizing outcomes across all pools.
 	Grown  uint64
 	Shrunk uint64
+	// DegradedPools counts shards with at least one group serving on a
+	// K-of-N quorum (an eviction absorbed, respawn pending) — the
+	// mesh-wide availability-exposure number quorum campaigns gate on.
+	DegradedPools int
 	// Pools lists per-shard snapshots in shard order.
 	Pools []PoolStats
 }
@@ -397,12 +401,16 @@ func (m *Mesh) Stats() Stats {
 	}
 	for _, p := range m.pools {
 		s.Shed += p.shed.Load()
-		s.Pools = append(s.Pools, PoolStats{
+		ps := PoolStats{
 			Pool:   p.id,
 			Served: p.served.Load(),
 			Shed:   p.shed.Load(),
 			Fleet:  p.fleet.Stats(),
-		})
+		}
+		if ps.Fleet.DegradedGroups > 0 {
+			s.DegradedPools++
+		}
+		s.Pools = append(s.Pools, ps)
 	}
 	return s
 }

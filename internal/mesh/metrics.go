@@ -20,6 +20,7 @@ import (
 //	mesh_rotation_drain_seconds      rotation start → pool replenished
 //	mesh_exposure_window_seconds     rotated group's age: how long its masks were exposed
 //	mesh_pool_healthy_groups{pool}   per-shard healthy group count (sampled)
+//	mesh_pool_degraded_groups{pool}  per-shard quorum-degraded group count (sampled)
 type metrics struct {
 	dispatched *obs.Counter
 	shed       *obs.Counter
@@ -50,6 +51,9 @@ func newMetrics(reg *obs.Registry, m *Mesh) *metrics {
 		f := p.fleet
 		reg.GaugeFunc("mesh_pool_healthy_groups", "Healthy groups in this shard (sampled).",
 			func() float64 { return float64(f.HealthyCount()) },
+			obs.L("pool", strconv.Itoa(p.id)))
+		reg.GaugeFunc("mesh_pool_degraded_groups", "Groups in this shard serving on a K-of-N quorum (sampled).",
+			func() float64 { return float64(f.DegradedCount()) },
 			obs.L("pool", strconv.Itoa(p.id)))
 	}
 	return mm

@@ -32,6 +32,17 @@ const (
 	ReasonExitMismatch
 	// ReasonTimeout: a variant failed to reach the rendezvous in time.
 	ReasonTimeout
+	// ReasonQuorumLost: a variant faulted (crash or stall) and evicting
+	// it would leave fewer than Quorum live variants — the K-of-N group
+	// can no longer uphold its detection contract and dies instead of
+	// degrading further.
+	ReasonQuorumLost
+
+	// reasonEnd is one past the last reason: the sentinel every
+	// loop-over-all-reasons (metrics registration, the round-trip test)
+	// ranges to, so appending a constant above cannot silently fall out
+	// of those loops.
+	reasonEnd
 )
 
 // String names the reason.
@@ -53,15 +64,94 @@ func (r Reason) String() string {
 		return "exit-mismatch"
 	case ReasonTimeout:
 		return "timeout"
+	case ReasonQuorumLost:
+		return "quorum-lost"
 	default:
 		return "unknown"
 	}
+}
+
+// ReasonFromString parses a reason name back to its constant — the
+// inverse of String for every defined reason. Audit consumers replay
+// NDJSON trails through this; an unknown name returns false.
+func ReasonFromString(s string) (Reason, bool) {
+	for r := Reason(1); r < reasonEnd; r++ {
+		if r.String() == s {
+			return r, true
+		}
+	}
+	return 0, false
 }
 
 // MarshalJSON renders the reason as its name, so audit NDJSON carries
 // "uid-divergence" rather than an enum ordinal.
 func (r Reason) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.String())
+}
+
+// FaultKind classifies a variant fault the quorum machinery evicted
+// on: the availability-fault class, as opposed to the divergence
+// (attack) class that still raises alarms.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultCrash: the variant died (sys.ErrCrashed or an unexpected
+	// goroutine exit) before reaching the rendezvous.
+	FaultCrash FaultKind = iota + 1
+	// FaultStall: the variant failed to reach the rendezvous within the
+	// deadline while its siblings were already gathered.
+	FaultStall
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the kind as its name.
+func (k FaultKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Eviction is one audit record of the K-of-N quorum machinery: a
+// variant faulted, at least Quorum live variants agreed, and the group
+// dropped the faulted variant and continued in degraded mode instead
+// of dying. Like Alarm it carries the deterministic virtual-time stamp
+// (VTime) next to the in-lane position (Seq), so seeded campaign
+// matrices can embed evictions byte-identically.
+type Eviction struct {
+	// Variant is the evicted variant's index.
+	Variant int `json:"variant"`
+	// Worker is the worker lane whose monitor observed the fault (the
+	// eviction itself is group-wide: the variant is dropped from every
+	// lane's live set).
+	Worker int `json:"worker"`
+	// Kind classifies the fault (crash or stall).
+	Kind FaultKind `json:"kind"`
+	// Seq is the observing lane's rendezvous sequence number at the
+	// eviction.
+	Seq int `json:"seq"`
+	// VTime is the group's virtual clock at the eviction — the
+	// deterministic timestamp audit consumers pair with wall clocks.
+	VTime uint32 `json:"vtime"`
+	// Live is the number of variants still live after the eviction.
+	Live int `json:"live"`
+	// Detail describes the fault (e.g. the variant's terminal error).
+	Detail string `json:"detail"`
+}
+
+// String renders the eviction as one audit line.
+func (e Eviction) String() string {
+	return fmt.Sprintf("nvariant eviction [%s] variant %d (worker %d, seq %d, vtime %d): %d live; %s",
+		e.Kind, e.Variant, e.Worker, e.Seq, e.VTime, e.Live, e.Detail)
 }
 
 // Alarm is the monitor's report of a detected divergence: in the

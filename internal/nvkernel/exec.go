@@ -121,7 +121,7 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 
 	case sys.Stat:
 		s.mu.Lock()
-		info, err := s.world.FS.Stat(string(msgs[0].call.Data), l.cred)
+		info, err := s.world.FS.Stat(string(msgs[l.ref].call.Data), l.cred)
 		s.mu.Unlock()
 		if err != nil {
 			replyErrno(msgs, err)
@@ -150,6 +150,9 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		// failure raises with only the not-yet-replied tail msgs[i:]
 		// (the exactly-one-reply discipline mailbox reuse depends on).
 		for i, m := range msgs {
+			if m == nil {
+				continue
+			}
 			rep, err := s.cfg.UIDFuncs[i].Apply(real)
 			if err != nil {
 				l.raise(&Alarm{
@@ -275,6 +278,9 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 		// Equivalence was established by canonicalArgs; return each
 		// variant its own passed value (Table 2).
 		for _, m := range msgs {
+			if m == nil {
+				continue
+			}
 			m.reply <- sys.Reply{Val: m.call.Args[0]}
 		}
 		return false
@@ -311,7 +317,7 @@ func (l *lane) execute(spec sys.Spec, num sys.Num, canon []word.Word, msgs []*ca
 
 	default:
 		l.raise(&Alarm{
-			Reason: ReasonSyscallMismatch, Syscall: spec.Name, Seq: seq, Variant: 0,
+			Reason: ReasonSyscallMismatch, Syscall: spec.Name, Seq: seq, Variant: l.ref,
 			Detail: fmt.Sprintf("unimplemented syscall %s", spec.Name),
 		}, msgs)
 		return true
@@ -358,7 +364,7 @@ func (l *lane) execPrefork(canon []word.Word, msgs []*callMsg) bool {
 // version and the shared bit of the slot is cleared (§3.4).
 func (l *lane) execOpen(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) bool {
 	s := l.sys
-	path := string(msgs[0].call.Data)
+	path := string(msgs[l.ref].call.Data)
 	flags := vos.OpenFlag(canon[0])
 	perm := vos.Mode(canon[1])
 
@@ -434,6 +440,9 @@ func (l *lane) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.Sp
 			return false
 		}
 		for i, m := range msgs {
+			if m == nil {
+				continue
+			}
 			addr := m.call.Args[1]
 			if err := l.variants[i].mem.WriteBytes(addr, buf[:cnt]); err != nil {
 				l.raise(&Alarm{
@@ -454,6 +463,9 @@ func (l *lane) execRead(canon []word.Word, msgs []*callMsg, seq int, spec sys.Sp
 	// before i already received their success reply, and a second
 	// send into a reused mailbox would corrupt their next call.
 	for i, m := range msgs {
+		if m == nil {
+			continue
+		}
 		buf := l.ioScratch(uint32(m.call.Args[2]))
 		cnt, err := entry.files[i].Read(buf)
 		if err != nil {
@@ -503,17 +515,21 @@ func (l *lane) cmpScratch(n uint32) []byte {
 // send) copies before the lane loops again. Lane-local: no lock.
 func (l *lane) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec sys.Spec) ([]byte, bool) {
 	n := uint32(canon[2])
+	ref := l.ref
 	first := l.ioScratch(n)
-	if err := l.variants[0].mem.ReadBytesInto(msgs[0].call.Args[1], first); err != nil {
+	if err := l.variants[ref].mem.ReadBytesInto(msgs[ref].call.Args[1], first); err != nil {
 		l.raise(&Alarm{
-			Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: 0,
+			Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: ref,
 			Detail: fmt.Sprintf("copy from variant memory: %v", err),
 		}, msgs)
 		return nil, false
 	}
 	if len(l.variants) > 1 {
 		other := l.cmpScratch(n)
-		for i := 1; i < len(l.variants); i++ {
+		for i := 0; i < len(l.variants); i++ {
+			if i == ref || msgs[i] == nil {
+				continue
+			}
 			if err := l.variants[i].mem.ReadBytesInto(msgs[i].call.Args[1], other); err != nil {
 				l.raise(&Alarm{
 					Reason: ReasonVariantFault, Syscall: spec.Name, Seq: seq, Variant: i,
@@ -524,7 +540,7 @@ func (l *lane) gatherPayloads(canon []word.Word, msgs []*callMsg, seq int, spec 
 			if !bytes.Equal(other, first) {
 				l.raise(&Alarm{
 					Reason: ReasonDataDivergence, Syscall: spec.Name, Seq: seq, Variant: i,
-					Detail: fmt.Sprintf("output payload differs from variant 0 (%d bytes)", n),
+					Detail: fmt.Sprintf("output payload differs from variant %d (%d bytes)", ref, n),
 				}, msgs)
 				return nil, false
 			}
@@ -598,6 +614,9 @@ func (l *lane) execWrite(canon []word.Word, msgs []*callMsg, seq int, spec sys.S
 	// path, failures answer only the not-yet-replied tail msgs[i:].
 	s.mu.Lock()
 	for i, m := range msgs {
+		if m == nil {
+			continue
+		}
 		b := l.ioScratch(uint32(m.call.Args[2]))
 		if err := l.variants[i].mem.ReadBytesInto(m.call.Args[1], b); err != nil {
 			s.mu.Unlock()
@@ -667,6 +686,9 @@ func (l *lane) execRecv(canon []word.Word, msgs []*callMsg, seq int, spec sys.Sp
 	// payload is replicated into every variant's memory it goes back
 	// to the network's buffer pool.
 	for i, m := range msgs {
+		if m == nil {
+			continue
+		}
 		if err := l.variants[i].mem.WriteBytes(m.call.Args[1], data); err != nil {
 			simnet.PutBuffer(data)
 			l.raise(&Alarm{

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,10 +64,18 @@ type Result struct {
 	// VariantErrs holds each variant's terminal error (nil for clean
 	// returns and monitor kills), lane-major: lane 0's variants first.
 	VariantErrs []error
+	// Evictions records the quorum machinery's degraded-mode history:
+	// one entry per variant fault absorbed by eviction, in eviction
+	// order. Empty unless WithQuorum was set and a fault occurred.
+	Evictions []Eviction
 }
 
 // Detected reports whether the run ended in an alarm.
 func (r *Result) Detected() bool { return r.Alarm != nil }
+
+// Degraded reports whether the group evicted at least one variant and
+// finished on a K-of-N quorum.
+func (r *Result) Degraded() bool { return len(r.Evictions) > 0 }
 
 // callMsg is one variant's arrival at a syscall rendezvous.
 type callMsg struct {
@@ -83,9 +92,15 @@ type variantRT struct {
 	id    int
 	calls chan *callMsg
 	done  chan struct{}
-	err   error
-	mem   *vmem.Space
-	msg   callMsg
+	// gone is closed when the variant is evicted group-wide (quorum
+	// degraded mode): the lane monitor stops reading calls, and the
+	// variant's invoker answers Killed instead of parking on a
+	// rendezvous nobody gathers. Nil when the group runs without a
+	// quorum — the hot path then carries no extra select case.
+	gone chan struct{}
+	err  error
+	mem  *vmem.Space
+	msg  callMsg
 }
 
 // Run executes progs (one per variant) as an N-variant process group
@@ -119,6 +134,12 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 			// ignoring it.
 			return nil, fmt.Errorf("nvkernel: instruction-tag layers deploy on the isa substrate (isa.RunSpec), not under the monitor kernel")
 		}
+	}
+
+	if cfg.Quorum > 0 && n > 64 {
+		// The live set is a single uint64 mask; wider groups would need
+		// a different representation, and nothing near that width exists.
+		return nil, fmt.Errorf("nvkernel: quorum mode supports at most 64 variants, got %d", n)
 	}
 
 	// Address canonicalization width: the two-variant construction
@@ -245,6 +266,9 @@ func Run(world *vos.World, net *simnet.Network, progs []sys.Program, opts ...Opt
 		VTime:       s.vtime.Load(),
 		VariantErrs: make([]error, 0, n*len(s.lanes)),
 	}
+	s.mu.Lock()
+	res.Evictions = append(res.Evictions, s.evictions...)
+	s.mu.Unlock()
 	for _, l := range s.lanes {
 		res.Rendezvous += l.rendezvous
 		for _, v := range l.variants {
@@ -306,6 +330,15 @@ type system struct {
 	vtime atomic.Uint32
 	score atomic.Int64
 
+	// evicted is the group-wide live-set mask: bit i set means variant
+	// i has been evicted by the quorum machinery. Lanes copy it into
+	// their private dead mask at the top of each gather round (one
+	// atomic load; no lock), so the steady-state loop allocates nothing
+	// and rebuilds no slices. Writes happen under mu in tryEvict;
+	// evictions (under mu) is the ordered record Result reports.
+	evicted   atomic.Uint64
+	evictions []Eviction
+
 	killed   chan struct{}
 	killOnce sync.Once
 	stop     chan struct{}
@@ -313,8 +346,35 @@ type system struct {
 }
 
 // invokerFor builds the syscall invoker of one variant of one lane.
+// Quorum groups get an invoker with one extra select case (the
+// variant's eviction channel); unanimous groups keep the two-case
+// select byte-for-byte, so enabling the feature elsewhere costs the
+// paper-contract hot path nothing.
 func (s *system) invokerFor(l *lane, v *variantRT) sys.Invoker {
 	hook := s.cfg.Faults
+	if v.gone != nil {
+		gone := v.gone
+		return func(call sys.Call) sys.Reply {
+			if hook != nil {
+				if stall, crash := hook.PreSyscall(l.id, v.id, call.Num); crash {
+					return sys.Reply{Crashed: true}
+				} else if stall > 0 {
+					time.Sleep(stall)
+				}
+			}
+			v.msg.call = call
+			select {
+			case v.calls <- &v.msg:
+				return <-v.msg.reply
+			case <-gone:
+				// Evicted: no monitor gathers this variant anymore. Killed
+				// unwinds the goroutine exactly like a group teardown.
+				return sys.Reply{Killed: true}
+			case <-s.stop:
+				return sys.Reply{Killed: true}
+			}
+		}
+	}
 	return func(call sys.Call) sys.Reply {
 		if hook != nil {
 			if stall, crash := hook.PreSyscall(l.id, v.id, call.Num); crash {
@@ -360,9 +420,19 @@ type lane struct {
 	// open-file descriptions of the write path.
 	msgs   []*callMsg
 	canon  []word.Word
-	ioBuf  []byte // variant-0 payloads and shared-read staging
+	ioBuf  []byte // reference-variant payloads and shared-read staging
 	cmpBuf []byte // other variants' payloads during cross-checking
 	pin    []*vos.OpenFile
+
+	// Live-set view (monitor-goroutine private, synced from the
+	// group-wide evicted mask at the top of each gather round): dead is
+	// the local copy of the eviction bitmask, live the surviving count,
+	// ref the lowest live index — the variant every cross-check
+	// compares against (variant 0 until it is evicted, so unanimous
+	// groups behave and report byte-identically).
+	dead uint64
+	live int
+	ref  int
 
 	rendezvous int
 	exited     bool
@@ -372,7 +442,7 @@ type lane struct {
 // mailboxes, starting from the group's initial credentials. The lane
 // is not yet registered or running.
 func (s *system) newLane(id int) *lane {
-	l := &lane{sys: s, id: id, cred: s.cfg.Cred}
+	l := &lane{sys: s, id: id, cred: s.cfg.Cred, live: s.n}
 	l.variants = make([]*variantRT, s.n)
 	for i := 0; i < s.n; i++ {
 		l.variants[i] = &variantRT{
@@ -380,6 +450,9 @@ func (s *system) newLane(id int) *lane {
 			calls: make(chan *callMsg),
 			done:  make(chan struct{}),
 			mem:   vmem.New(s.parts[i]),
+		}
+		if s.cfg.Quorum > 0 {
+			l.variants[i].gone = make(chan struct{})
 		}
 		l.variants[i].msg.reply = make(chan sys.Reply, 1)
 	}
@@ -412,6 +485,18 @@ func (s *system) spawnWorkerLane(id int, workers []sys.WorkerProgram, cred vos.C
 	}
 	s.mu.Lock()
 	s.lanes = append(s.lanes, l)
+	if g := s.evicted.Load(); g != 0 {
+		// The group degraded before this worker lane registered (a
+		// prefork racing an eviction): close the evicted variants' gone
+		// channels here, in the same critical section tryEvict's
+		// roster-wide close runs under, so the new lane's variants
+		// cannot miss the signal.
+		for i := 0; i < s.n; i++ {
+			if g&(1<<uint(i)) != 0 {
+				close(l.variants[i].gone)
+			}
+		}
+	}
 	s.mu.Unlock()
 	s.monitors.Add(1)
 	go func() {
@@ -433,10 +518,16 @@ func (l *lane) monitor() {
 	defer timer.Stop()
 	armedAt := 0 // rendezvous count when the timer was last armed
 	for {
+		l.syncLive()
 		for i := range l.msgs {
 			l.msgs[i] = nil
 		}
 		for i, v := range l.variants {
+			if l.dead&(1<<uint(i)) != 0 {
+				// Evicted in an earlier round (or earlier this round):
+				// nobody gathers this variant anymore.
+				continue
+			}
 		arrival:
 			for {
 				select {
@@ -444,20 +535,40 @@ func (l *lane) monitor() {
 					l.msgs[i] = m
 					break arrival
 				case <-v.done:
-					// A variant died without reaching the rendezvous:
-					// alarm (unless the whole group already exited).
+					// A variant died without reaching the rendezvous: a
+					// variant fault. With a quorum and enough live
+					// survivors the group evicts it and degrades;
+					// otherwise (unanimous, or quorum lost) the fault
+					// kills the group as before.
 					detail := "variant terminated unexpectedly"
 					if v.err != nil {
 						detail = v.err.Error()
 					}
+					if l.tryEvict(i, FaultCrash, detail) {
+						l.reapDead()
+						break arrival
+					}
+					reason := ReasonVariantFault
+					if s.cfg.Quorum > 0 {
+						reason = ReasonQuorumLost
+					}
 					l.raise(&Alarm{
-						Reason:  ReasonVariantFault,
+						Reason:  reason,
 						Syscall: "(none)",
 						Seq:     l.rendezvous,
 						Variant: i,
 						Detail:  detail,
 					}, l.msgs)
 					return
+				case <-v.gone:
+					// A sibling lane evicted this variant while we were
+					// waiting for it: adopt the group's live set and move
+					// on. (Receiving on the nil gone channel of a
+					// no-quorum group blocks forever, i.e. this case is
+					// compiled out of the unanimous contract.)
+					l.applyDead(s.evicted.Load())
+					l.reapDead()
+					break arrival
 				case <-s.killed:
 					// A sibling lane alarmed (or the group is being
 					// torn down): retire this lane, releasing the
@@ -472,12 +583,23 @@ func (l *lane) monitor() {
 						timer.Reset(s.cfg.Timeout)
 						continue
 					}
+					detail := fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout)
+					if l.tryEvict(i, FaultStall, detail) {
+						l.reapDead()
+						armedAt = l.rendezvous
+						timer.Reset(s.cfg.Timeout)
+						break arrival
+					}
+					reason := ReasonTimeout
+					if s.cfg.Quorum > 0 {
+						reason = ReasonQuorumLost
+					}
 					l.raise(&Alarm{
-						Reason:  ReasonTimeout,
+						Reason:  reason,
 						Syscall: "(none)",
 						Seq:     l.rendezvous,
 						Variant: i,
-						Detail:  fmt.Sprintf("variant %d did not reach rendezvous within %v", i, s.cfg.Timeout),
+						Detail:  detail,
 					}, l.msgs)
 					return
 				}
@@ -491,7 +613,7 @@ func (l *lane) monitor() {
 			// the loop stays allocation-free (proven by
 			// TestInstrumentedRendezvousZeroAlloc and the bench gate).
 			start := time.Now()
-			num := l.msgs[0].call.Num
+			num := l.msgs[l.ref].call.Num
 			stop := l.dispatch(l.msgs)
 			m.observeRendezvous(num, time.Since(start))
 			if stop {
@@ -503,6 +625,103 @@ func (l *lane) monitor() {
 			return
 		}
 	}
+}
+
+// syncLive refreshes the lane's private live-set view from the
+// group-wide eviction mask. Called at the top of every gather round:
+// one branch for unanimous groups, one atomic load for quorum groups —
+// the steady-state loop stays allocation- and lock-free.
+func (l *lane) syncLive() {
+	if l.sys.cfg.Quorum <= 0 {
+		return
+	}
+	if g := l.sys.evicted.Load(); g != l.dead {
+		l.applyDead(g)
+	}
+}
+
+// applyDead installs eviction mask g as the lane's live-set view:
+// dead/live/ref are recomputed in place (no slice rebuild). ref is the
+// lowest live index — the reference every cross-check compares
+// against, variant 0 until variant 0 itself is evicted, so unanimous
+// groups behave and report byte-identically.
+func (l *lane) applyDead(g uint64) {
+	l.dead = g
+	l.live = l.sys.n - bits.OnesCount64(g)
+	l.ref = bits.TrailingZeros64(^g)
+}
+
+// reapDead restores the gather invariant after a mid-round live-set
+// change: any already-gathered arrival whose variant is now dead is
+// answered Killed and its slot cleared, so a non-nil slot always
+// belongs to a live variant when the round dispatches.
+func (l *lane) reapDead() {
+	for j, m := range l.msgs {
+		if m != nil && l.dead&(1<<uint(j)) != 0 {
+			m.reply <- sys.Reply{Killed: true}
+			l.msgs[j] = nil
+		}
+	}
+}
+
+// tryEvict attempts to absorb a variant fault by eviction: with a
+// quorum configured, no alarm pending, and at least Quorum variants
+// live after dropping the faulted one, the variant is evicted
+// group-wide (audit entry appended, every lane's gone channel closed)
+// and the lane adopts the new live set. It returns false when the
+// fault must kill the group instead — no quorum configured, or
+// evicting would fall below K.
+func (l *lane) tryEvict(variant int, kind FaultKind, detail string) bool {
+	s := l.sys
+	if s.cfg.Quorum <= 0 {
+		return false
+	}
+	bit := uint64(1) << uint(variant)
+	s.mu.Lock()
+	if s.alarm != nil {
+		// An alarm outranks degraded mode: the group is dying anyway.
+		s.mu.Unlock()
+		return false
+	}
+	g := s.evicted.Load()
+	if g&bit != 0 {
+		// A sibling lane evicted this variant first: adopt its view.
+		s.mu.Unlock()
+		l.applyDead(g)
+		return true
+	}
+	liveAfter := s.n - bits.OnesCount64(g) - 1
+	if liveAfter < s.cfg.Quorum {
+		s.mu.Unlock()
+		return false
+	}
+	g |= bit
+	s.evicted.Store(g)
+	ev := Eviction{
+		Variant: variant,
+		Worker:  l.id,
+		Kind:    kind,
+		Seq:     l.rendezvous,
+		VTime:   s.vtime.Load(),
+		Live:    liveAfter,
+		Detail:  detail,
+	}
+	s.evictions = append(s.evictions, ev)
+	// Closing under mu pairs with lane registration in spawnWorkerLane:
+	// every lane either sees the mask at registration or gets its gone
+	// channels closed here — never neither.
+	for _, other := range s.lanes {
+		close(other.variants[variant].gone)
+	}
+	s.mu.Unlock()
+	if m := s.cfg.Metrics; m != nil {
+		m.observeEviction(kind)
+	}
+	if fn := s.cfg.OnEvict; fn != nil {
+		fn(ev)
+	}
+	l.applyDead(g)
+	return true
 }
 
 // killGathered answers every already-gathered arrival with Killed.
@@ -569,30 +788,36 @@ func (s *system) killedNow() bool {
 }
 
 // dispatch checks rendezvous equivalence and executes the syscall.
-// It returns true when the lane's monitor loop should stop.
+// It returns true when the lane's monitor loop should stop. Slots of
+// evicted variants are nil (degraded mode); every cross-check compares
+// the live variants against the reference variant l.ref.
 func (l *lane) dispatch(msgs []*callMsg) bool {
 	s := l.sys
 	seq := l.rendezvous - 1
-	num := msgs[0].call.Num
+	ref := l.ref
+	num := msgs[ref].call.Num
 	spec, ok := sys.SpecFor(num)
 	if !ok {
 		l.raise(&Alarm{
-			Reason: ReasonSyscallMismatch, Syscall: "unknown", Seq: seq, Variant: 0,
+			Reason: ReasonSyscallMismatch, Syscall: "unknown", Seq: seq, Variant: ref,
 			Detail: fmt.Sprintf("unknown syscall number %d", num),
 		}, msgs)
 		return true
 	}
 
-	// All variants must make the same system call (§3.1).
-	for i := 1; i < s.n; i++ {
+	// All (live) variants must make the same system call (§3.1).
+	for i := 0; i < s.n; i++ {
+		if i == ref || msgs[i] == nil {
+			continue
+		}
 		if msgs[i].call.Num != num {
 			l.raise(&Alarm{
 				Reason:  ReasonSyscallMismatch,
 				Syscall: spec.Name,
 				Seq:     seq,
 				Variant: i,
-				Detail: fmt.Sprintf("variant 0 at %s, variant %d at %s",
-					num, i, msgs[i].call.Num),
+				Detail: fmt.Sprintf("variant %d at %s, variant %d at %s",
+					ref, num, i, msgs[i].call.Num),
 			}, msgs)
 			return true
 		}
@@ -608,20 +833,23 @@ func (l *lane) dispatch(msgs []*callMsg) bool {
 			l.raise(alarm, msgs)
 			return true
 		}
-		fd0 := msgs[0].call.Args[0]
+		fd0 := msgs[ref].call.Args[0]
 		s.mu.Lock()
 		idx, err := s.slotFor(fd0)
 		unsharedFile := err == nil && s.files[idx].kind == kindFile && !s.files[idx].shared
 		s.mu.Unlock()
 		if unsharedFile {
-			for i := 1; i < s.n; i++ {
+			for i := 0; i < s.n; i++ {
+				if i == ref || msgs[i] == nil {
+					continue
+				}
 				if msgs[i].call.Args[0] != fd0 {
 					l.raise(&Alarm{
 						Reason:  ReasonArgDivergence,
 						Syscall: spec.Name,
 						Seq:     seq,
 						Variant: i,
-						Detail:  fmt.Sprintf("fd %d differs from variant 0's %d", msgs[i].call.Args[0], fd0),
+						Detail:  fmt.Sprintf("fd %d differs from variant %d's %d", msgs[i].call.Args[0], ref, fd0),
 					}, msgs)
 					return true
 				}
@@ -641,15 +869,18 @@ func (l *lane) dispatch(msgs []*callMsg) bool {
 
 	// Paths must be identical.
 	if spec.TakesPath {
-		p0 := msgs[0].call.Data
-		for i := 1; i < s.n; i++ {
+		p0 := msgs[ref].call.Data
+		for i := 0; i < s.n; i++ {
+			if i == ref || msgs[i] == nil {
+				continue
+			}
 			if !bytes.Equal(msgs[i].call.Data, p0) {
 				l.raise(&Alarm{
 					Reason:  ReasonArgDivergence,
 					Syscall: spec.Name,
 					Seq:     seq,
 					Variant: i,
-					Detail:  fmt.Sprintf("path %q differs from variant 0's %q", msgs[i].call.Data, p0),
+					Detail:  fmt.Sprintf("path %q differs from variant %d's %q", msgs[i].call.Data, ref, p0),
 				}, msgs)
 				return true
 			}
@@ -659,11 +890,14 @@ func (l *lane) dispatch(msgs []*callMsg) bool {
 	return l.execute(spec, num, canon, msgs, seq)
 }
 
-// checkArgCounts validates each variant's argument count against the
-// spec.
+// checkArgCounts validates each live variant's argument count against
+// the spec.
 func (l *lane) checkArgCounts(spec sys.Spec, msgs []*callMsg, seq int) *Alarm {
 	nargs := len(spec.Args)
 	for i, m := range msgs {
+		if m == nil {
+			continue
+		}
 		if len(m.call.Args) != nargs {
 			return &Alarm{
 				Reason:  ReasonArgDivergence,
@@ -687,9 +921,11 @@ func (l *lane) canonBuf(nargs int) []word.Word {
 	return l.canon[:nargs]
 }
 
-// canonicalArgs inverts/normalizes each variant's arguments and checks
-// cross-variant equivalence, returning variant 0's canonical vector
-// (borrowed scratch, valid until the next rendezvous).
+// canonicalArgs inverts/normalizes each live variant's arguments and
+// checks cross-variant equivalence, returning the reference variant's
+// canonical vector (borrowed scratch, valid until the next
+// rendezvous). The reference is the lowest live index, so no non-nil
+// slot precedes it.
 func (l *lane) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Word, *Alarm) {
 	s := l.sys
 	if alarm := l.checkArgCounts(spec, msgs, seq); alarm != nil {
@@ -697,10 +933,14 @@ func (l *lane) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Wo
 	}
 	nargs := len(spec.Args)
 	canon := l.canonBuf(nargs)
+	ref := l.ref
 	for j := 0; j < nargs; j++ {
 		kind := spec.Args[j]
 		var c0 word.Word
 		for i := 0; i < s.n; i++ {
+			if msgs[i] == nil {
+				continue
+			}
 			raw := msgs[i].call.Args[j]
 			var cv word.Word
 			switch kind {
@@ -721,22 +961,22 @@ func (l *lane) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Wo
 			default:
 				cv = raw
 			}
-			if i == 0 {
+			if i == ref {
 				c0 = cv
 				continue
 			}
 			if cv != c0 {
 				reason := ReasonArgDivergence
-				detail := fmt.Sprintf("arg %d: canonical %s differs from variant 0's %s", j, cv, c0)
+				detail := fmt.Sprintf("arg %d: canonical %s differs from variant %d's %s", j, cv, ref, c0)
 				switch kind {
 				case sys.ArgUID:
 					reason = ReasonUIDDivergence
 					detail = fmt.Sprintf(
-						"arg %d: UID decodes to %s in variant %d but %s in variant 0 (raw %s vs %s)",
-						j, cv.Decimal(), i, c0.Decimal(), msgs[i].call.Args[j], msgs[0].call.Args[j])
+						"arg %d: UID decodes to %s in variant %d but %s in variant %d (raw %s vs %s)",
+						j, cv.Decimal(), i, c0.Decimal(), ref, msgs[i].call.Args[j], msgs[ref].call.Args[j])
 				case sys.ArgBool:
 					reason = ReasonCondDivergence
-					detail = fmt.Sprintf("condition value %d differs from variant 0's %d", cv, c0)
+					detail = fmt.Sprintf("condition value %d differs from variant %d's %d", cv, ref, c0)
 				}
 				return nil, &Alarm{
 					Reason:  reason,
@@ -752,10 +992,13 @@ func (l *lane) canonicalArgs(spec sys.Spec, msgs []*callMsg, seq int) ([]word.Wo
 	return canon, nil
 }
 
-// replyAll sends the same reply to every variant.
+// replyAll sends the same reply to every live variant (nil slots
+// belong to evicted variants).
 func replyAll(msgs []*callMsg, r sys.Reply) {
 	for _, m := range msgs {
-		m.reply <- r
+		if m != nil {
+			m.reply <- r
+		}
 	}
 }
 

@@ -16,11 +16,15 @@ import (
 //	nvk_syscalls_total{call=...}    counter per syscall number
 //	nvk_alarms_total{reason=...}    counter per alarm reason (winning alarms only)
 //	nvk_alarm_kill_latency_seconds  histogram, alarm raise → group killed
+//	nvk_variant_faults_total{kind=...}  counter per absorbed fault kind (quorum evictions)
+//	nvk_evictions_total             counter, one per quorum eviction
 type Metrics struct {
 	rendezvous *obs.Histogram
 	alarmKill  *obs.Histogram
 	syscalls   []*obs.Counter // indexed by sys.Num
 	alarms     []*obs.Counter // indexed by Reason
+	faults     []*obs.Counter // indexed by FaultKind
+	evictions  *obs.Counter
 }
 
 // NewMetrics registers (or finds) the kernel metric set on reg.
@@ -44,10 +48,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		m.syscalls[n-1] = reg.Counter("nvk_syscalls_total",
 			"Rendezvous completed, by syscall.", obs.L("call", spec.Name))
 	}
-	for r := Reason(1); r <= ReasonTimeout; r++ {
+	for r := Reason(1); r < reasonEnd; r++ {
 		m.alarms = append(m.alarms, reg.Counter("nvk_alarms_total",
 			"Alarms raised (first alarm per group), by reason.", obs.L("reason", r.String())))
 	}
+	for k := FaultCrash; k <= FaultStall; k++ {
+		m.faults = append(m.faults, reg.Counter("nvk_variant_faults_total",
+			"Variant faults absorbed by quorum eviction, by kind.", obs.L("kind", k.String())))
+	}
+	m.evictions = reg.Counter("nvk_evictions_total",
+		"Variants evicted by the K-of-N quorum machinery.")
 	return m
 }
 
@@ -71,4 +81,12 @@ func (m *Metrics) observeAlarm(r Reason, killLatency time.Duration) {
 		m.alarms[i].Inc()
 	}
 	m.alarmKill.Observe(killLatency)
+}
+
+// observeEviction records one quorum eviction and its fault kind.
+func (m *Metrics) observeEviction(k FaultKind) {
+	if i := int(k) - 1; i >= 0 && i < len(m.faults) {
+		m.faults[i].Inc()
+	}
+	m.evictions.Inc()
 }

@@ -57,6 +57,21 @@ type Config struct {
 	// Metrics is the optional kernel metric set (nil = uninstrumented;
 	// the disabled path costs one nil check per rendezvous).
 	Metrics *Metrics
+	// Quorum, when K ≥ 1, generalizes the rendezvous from unanimous to
+	// K-of-N: a variant *fault* (crash, deadline stall) with at least K
+	// other live variants evicts the faulted variant and the group
+	// continues in degraded mode on the survivors, while divergence
+	// among live variants still raises the usual alarms. A fault that
+	// would drop the live set below K kills the group (quorum-lost). 0
+	// (the default) keeps the paper's unanimous contract: any variant
+	// fault kills the group.
+	Quorum int
+	// OnEvict, when set, is called once per quorum eviction after the
+	// variant has been dropped from every lane's live set — the fleet's
+	// hook for audit entries and background respawn. Called from a lane
+	// monitor goroutine with no kernel locks held; implementations must
+	// be safe for concurrent use across lanes.
+	OnEvict func(Eviction)
 }
 
 // Option configures Run.
@@ -139,6 +154,19 @@ func WithUnsharedFiles(paths ...string) Option {
 // WithTimeout sets the rendezvous timeout.
 func WithTimeout(d time.Duration) Option {
 	return func(c *Config) { c.Timeout = d }
+}
+
+// WithQuorum enables K-of-N degraded mode: a variant fault with at
+// least k live agreeing survivors evicts the faulted variant instead
+// of killing the group. k ≤ 0 disables (unanimous, the default).
+func WithQuorum(k int) Option {
+	return func(c *Config) { c.Quorum = k }
+}
+
+// WithEvictionHook installs the per-eviction callback (see
+// Config.OnEvict). Only meaningful together with WithQuorum.
+func WithEvictionHook(fn func(Eviction)) Option {
+	return func(c *Config) { c.OnEvict = fn }
 }
 
 // WithFaultHook installs a chaos fault hook on the group: per-variant
