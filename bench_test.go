@@ -579,13 +579,15 @@ func BenchmarkFleetDispatchOverhead(b *testing.B) {
 // router adds on top of fleet dispatch (one pool, one group, so the
 // difference against BenchmarkFleetDispatchOverhead is pure routing:
 // admission CAS, inflight accounting, and the mesh tick). The mesh runs
-// instrumented so the allocs/op gate proves the router hot path stays
-// allocation-free.
+// instrumented and with a retry budget armed, so the allocs/op gate
+// proves the no-retry hot path stays allocation-free even with the
+// retry machinery compiled in.
 func BenchmarkMeshDispatchOverhead(b *testing.B) {
 	m, err := mesh.New(mesh.Options{
-		Pools: 1,
-		Obs:   obs.NewRegistry(),
-		Fleet: fleet.Options{Groups: 1},
+		Pools:       1,
+		RetryBudget: 4,
+		Obs:         obs.NewRegistry(),
+		Fleet:       fleet.Options{Groups: 1},
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -421,10 +421,13 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// cellSeed derives the deterministic seed of one campaign cell from
-// the campaign seed and the cell's labels — independent of sweep
-// order, so narrowing a campaign replays the surviving cells exactly.
-func cellSeed(seed int64, parts ...string) int64 {
+// CellSeed derives the deterministic seed of one campaign cell from
+// the campaign seed and the cell's labels: FNV-1a over the labels with
+// 0x1f separators, mixed with the seed through splitmix64. The result
+// is independent of sweep order, so narrowing a campaign replays the
+// surviving cells exactly. The mesh's unified campaign shares this
+// derivation so its narrowed -chaos reruns hold the same property.
+func CellSeed(seed int64, parts ...string) int64 {
 	h := fnv.New64a()
 	for _, p := range parts {
 		_, _ = h.Write([]byte(p))
@@ -432,6 +435,9 @@ func cellSeed(seed int64, parts ...string) int64 {
 	}
 	return int64(mix64(uint64(seed) ^ h.Sum64()))
 }
+
+// cellSeed is the package-internal shorthand for CellSeed.
+func cellSeed(seed int64, parts ...string) int64 { return CellSeed(seed, parts...) }
 
 // buildGroupSpec assembles the harness spec of one cell's deployment.
 func buildGroupSpec(stack string, n, w int, seed int64, kopts []nvkernel.Option) (harness.GroupSpec, error) {

@@ -185,7 +185,13 @@ type Fleet struct {
 	rr             atomic.Uint64
 	dispatched     atomic.Int64
 	dispatchErrors atomic.Int64
-	wg             sync.WaitGroup
+	// alarms / quorumKills mirror the mu-guarded detection ledger as
+	// lock-free counters: the mesh session snapshots them around each
+	// dispatch to classify transport errors (quarantine window vs
+	// quorum-lost kill) without taking the fleet lock on the hot path.
+	alarms      atomic.Uint64
+	quorumKills atomic.Uint64
+	wg          sync.WaitGroup
 
 	// obs is the registered metric set, nil when Options.Obs is unset.
 	obs *metrics
@@ -353,6 +359,10 @@ func (f *Fleet) groupExited(g *group) {
 	if alarmed {
 		mode = retireNone
 		f.detections++
+		f.alarms.Add(1)
+		if res.Alarm.Reason == nvkernel.ReasonQuorumLost {
+			f.quorumKills.Add(1)
+		}
 		if f.obs != nil {
 			f.obs.detections.Inc()
 		}
@@ -657,6 +667,16 @@ func (f *Fleet) DegradedCount() int {
 	}
 	return n
 }
+
+// AlarmCount returns how many monitor alarms the fleet has quarantined
+// on so far. Lock-free, so dispatch paths may snapshot it around a
+// request to attribute a transport error to a quarantine window.
+func (f *Fleet) AlarmCount() uint64 { return f.alarms.Load() }
+
+// QuorumLostCount returns how many of those alarms were quorum-lost
+// kills (a faulted variant's eviction would have dropped the group
+// below K). Lock-free like AlarmCount.
+func (f *Fleet) QuorumLostCount() uint64 { return f.quorumKills.Load() }
 
 // Grow spawns one additional group with a freshly generated spec and
 // returns its id — the elastic scale-up hook. The new group enters the

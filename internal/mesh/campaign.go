@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -28,6 +27,7 @@ import (
 	"time"
 
 	"nvariant/internal/attack"
+	"nvariant/internal/chaos"
 	"nvariant/internal/fleet"
 	"nvariant/internal/harness"
 	"nvariant/internal/httpd"
@@ -94,10 +94,15 @@ type CampaignCell struct {
 	Pools    int    `json:"pools"`
 	Rotation bool   `json:"rotation"`
 	Attack   string `json:"attack"`
-	// Benign-phase outcomes (serialized, so exact per seed).
-	BenignOK   int `json:"benign_ok"`
-	BenignShed int `json:"benign_shed"`
-	BenignErrs int `json:"benign_errs"`
+	// Benign-phase outcomes (serialized, so exact per seed). Errors are
+	// classified through the typed dispatch taxonomy: a quarantine
+	// window or quorum-lost kill raced by a request is counted both in
+	// BenignErrs and in its typed bucket.
+	BenignOK          int `json:"benign_ok"`
+	BenignShed        int `json:"benign_shed"`
+	BenignErrs        int `json:"benign_errs"`
+	BenignQuarantines int `json:"benign_quarantine_errs"`
+	BenignQuorumKills int `json:"benign_quorum_kill_errs"`
 	// Availability is BenignOK over all benign outcomes — the
 	// served-under-rotation headline (contract: ≥ 0.99).
 	Availability float64 `json:"availability"`
@@ -209,14 +214,13 @@ func (r *CampaignResult) Fprint(w io.Writer) {
 }
 
 // campaignCellSeed derives one cell's seed from the campaign seed and
-// the cell labels — independent of sweep order.
+// the cell labels via the chaos campaign's FNV+splitmix scheme —
+// independent of sweep order, and shared across both campaign kinds so
+// a narrowed rerun (one cell's labels) replays that cell exactly. The
+// zero guard exists because mesh.Options treats Seed 0 as "use the
+// default".
 func campaignCellSeed(seed int64, parts ...string) int64 {
-	h := fnv.New64a()
-	for _, p := range parts {
-		_, _ = h.Write([]byte(p))
-		_, _ = h.Write([]byte{0x1f})
-	}
-	s := int64(splitmix64(uint64(seed) ^ h.Sum64()))
+	s := chaos.CellSeed(seed, parts...)
 	if s == 0 {
 		s = 1
 	}
@@ -295,6 +299,12 @@ func runCampaignCell(cfg CampaignConfig, pools int, rotation bool, att string) (
 			cell.BenignShed++
 		case err == nil && code == 200:
 			cell.BenignOK++
+		case errors.Is(err, ErrQuorumLostKill):
+			cell.BenignQuorumKills++
+			cell.BenignErrs++
+		case errors.Is(err, ErrQuarantineWindow):
+			cell.BenignQuarantines++
+			cell.BenignErrs++
 		default:
 			cell.BenignErrs++
 		}

@@ -1,0 +1,533 @@
+package mesh
+
+// The unified mesh×chaos campaign: sweep pool count P × rotation
+// cadence × chaos fault plan × attack corpus from one seed and emit a
+// deterministic JSON matrix of availability, retry/re-route/backoff
+// activity, exposure-window percentiles, and detection results — the
+// paper's graceful-degradation story measured end to end: diversified
+// pools keep serving and keep detecting while the data plane and the
+// syscall boundary are under injected fault load.
+//
+// Byte-identical replay is the same hard contract as the chaos and
+// rotation campaigns, and holds for the same reasons: benign traffic
+// is serialized and settles the controllers after every request,
+// retries settle them after every charged backoff (see
+// settleControllers), each pool's fault injector consumes its decision
+// stream in wire order on a single-client network segment, and only
+// seed- and vtick-derived values enter the matrix.
+//
+// Kernel crash plans are deliberately not swept, matching the chaos
+// fleet cells: a crash trigger counts syscalls across a whole pool,
+// and replacement startup traffic interleaves with the benign stream,
+// so the trigger point would not replay. The crash-class fault here is
+// group-restart — deterministic campaign-driven shutdowns of whole
+// groups under load.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nvariant/internal/attack"
+	"nvariant/internal/chaos"
+	"nvariant/internal/fleet"
+	"nvariant/internal/harness"
+	"nvariant/internal/httpd"
+	"nvariant/internal/nvkernel"
+	"nvariant/internal/obs"
+	"nvariant/internal/simnet"
+	"nvariant/internal/word"
+)
+
+// ChaosCampaignConfig sizes a unified mesh×chaos campaign. The runner
+// crosses Pools × Rotations × Faults × Attacks into one cell each;
+// narrowing any list (the -chaos rerun flags) replays exactly the
+// surviving cells, because cell seeds derive from the cell labels, not
+// the sweep position.
+type ChaosCampaignConfig struct {
+	// Seed drives every decision; the same seed reproduces
+	// byte-identical output.
+	Seed int64
+	// Requests is the serialized benign-request count per cell
+	// (default 24).
+	Requests int
+	// Pools lists the shard counts to sweep (default {1, 2}).
+	Pools []int
+	// Rotations lists the rotation settings to sweep (default
+	// {false, true}).
+	Rotations []bool
+	// Groups is each pool's fleet size (default 2).
+	Groups int
+	// RotateEvery is the rotation cadence in mesh ticks for
+	// rotation-on cells (default 6).
+	RotateEvery uint64
+	// Probes is the forged-UID probe count per attack cell (default 2).
+	Probes int
+	// Sessions is the benign session-key count (default 8).
+	Sessions int
+	// RetryBudget / RetryBackoff configure the sessions' deterministic
+	// retry-with-backoff (defaults 6 and DefaultRetryBackoff) — the
+	// machinery that holds availability under the lossy plans.
+	RetryBudget  int
+	RetryBackoff uint64
+	// Faults lists the chaos plans to sweep (default: none, net-mixed,
+	// slow-syscalls, group-restart). Kernel crash plans are rejected —
+	// their trigger points do not replay across a pool.
+	Faults []chaos.Plan
+	// Attacks lists the attack modes to sweep (default
+	// {"none", "forge-uid"}).
+	Attacks []string
+	// Policy selects key→pool routing (default HashRouting).
+	Policy RouterPolicy
+	// Obs, when set, instruments every cell's stack on the registry.
+	// Output JSON is byte-identical with and without Obs.
+	Obs *obs.Registry
+}
+
+func (c ChaosCampaignConfig) withDefaults() ChaosCampaignConfig {
+	if c.Requests <= 0 {
+		c.Requests = 24
+	}
+	if len(c.Pools) == 0 {
+		c.Pools = []int{1, 2}
+	}
+	if len(c.Rotations) == 0 {
+		c.Rotations = []bool{false, true}
+	}
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+	if c.RotateEvery == 0 {
+		c.RotateEvery = 6
+	}
+	if c.Probes <= 0 {
+		c.Probes = 2
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 6
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if len(c.Faults) == 0 {
+		c.Faults = DefaultChaosPlans()
+	}
+	if len(c.Attacks) == 0 {
+		c.Attacks = []string{"none", "forge-uid"}
+	}
+	return c
+}
+
+// DefaultChaosPlans returns the fault plans the unified campaign
+// sweeps by default: the no-fault control, the full data-plane mix,
+// the syscall-boundary stall load, and the deterministic group-crash
+// plan.
+func DefaultChaosPlans() []chaos.Plan {
+	var out []chaos.Plan
+	for _, name := range []string{"none", "net-mixed", "slow-syscalls", "group-restart"} {
+		p, err := chaos.PlanByName(name)
+		if err != nil {
+			panic(err) // the standard set always carries these
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ChaosCell is one P × rotation × fault × attack result.
+type ChaosCell struct {
+	// Pools / Rotation / Fault / Attack identify the cell (and derive
+	// its seed).
+	Pools    int    `json:"pools"`
+	Rotation bool   `json:"rotation"`
+	Fault    string `json:"fault"`
+	Attack   string `json:"attack"`
+	// Benign-phase outcomes, classified through the typed dispatch
+	// taxonomy (quarantine windows and quorum-lost kills also count in
+	// BenignErrs).
+	BenignOK          int `json:"benign_ok"`
+	BenignShed        int `json:"benign_shed"`
+	BenignErrs        int `json:"benign_errs"`
+	BenignQuarantines int `json:"benign_quarantine_errs"`
+	BenignQuorumKills int `json:"benign_quorum_kill_errs"`
+	// Availability is BenignOK over all benign outcomes (contract:
+	// ≥ 0.99 under every swept plan — they are all non-crash at the
+	// variant level).
+	Availability float64 `json:"availability"`
+	// Retry machinery outcomes across the whole cell.
+	Retries      uint64 `json:"retries"`
+	Reroutes     uint64 `json:"reroutes"`
+	BackoffTicks uint64 `json:"backoff_ticks"`
+	// Rotation and restart outcomes.
+	Rotations        uint64 `json:"rotations"`
+	RotationsSkipped uint64 `json:"rotations_skipped"`
+	Restarts         int    `json:"restarts"`
+	// Exposure-window distribution in virtual ticks (see the rotation
+	// campaign).
+	ExposureSamples int    `json:"exposure_samples"`
+	ExposureP50     uint32 `json:"exposure_p50_vticks"`
+	ExposureP99     uint32 `json:"exposure_p99_vticks"`
+	// Attack outcomes.
+	Probes          int  `json:"probes"`
+	Detections      int  `json:"detections"`
+	Leaked          bool `json:"leaked"`
+	MissedDetection bool `json:"missed_detection"`
+	FalseAlarm      bool `json:"false_alarm"`
+}
+
+// ChaosCampaignSummary is the matrix headline.
+type ChaosCampaignSummary struct {
+	Cells           int     `json:"cells"`
+	BenignOK        int     `json:"benign_ok"`
+	BenignShed      int     `json:"benign_shed"`
+	BenignErrs      int     `json:"benign_errs"`
+	MinAvailability float64 `json:"min_availability"`
+	Retries         uint64  `json:"retries"`
+	Reroutes        uint64  `json:"reroutes"`
+	BackoffTicks    uint64  `json:"backoff_ticks"`
+	Rotations       uint64  `json:"rotations"`
+	Restarts        int     `json:"restarts"`
+	Probes          int     `json:"probes"`
+	Detections      int     `json:"detections"`
+	FalseAlarms     int     `json:"false_alarms"`
+	Leaks           int     `json:"leaks"`
+}
+
+// ChaosCampaignResult is the full deterministic matrix.
+type ChaosCampaignResult struct {
+	Seed         int64                `json:"seed"`
+	Requests     int                  `json:"requests_per_cell"`
+	Groups       int                  `json:"groups_per_pool"`
+	RotateEvery  uint64               `json:"rotate_every"`
+	RetryBudget  int                  `json:"retry_budget"`
+	RetryBackoff uint64               `json:"retry_backoff_ticks"`
+	Policy       string               `json:"policy"`
+	Cells        []ChaosCell          `json:"cells"`
+	Summary      ChaosCampaignSummary `json:"summary"`
+}
+
+// JSON renders the matrix with a trailing newline, byte-identical per
+// seed.
+func (r *ChaosCampaignResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Check returns the list of contract violations in the matrix:
+// availability under the 99% floor, missed detections, false alarms,
+// leaks, retry counters inconsistent with the backoff cadence, and
+// rotation accounting that contradicts the cell's configuration.
+func (r *ChaosCampaignResult) Check() []string {
+	var v []string
+	for _, c := range r.Cells {
+		id := fmt.Sprintf("cell p=%d rotation=%t fault=%s attack=%s", c.Pools, c.Rotation, c.Fault, c.Attack)
+		if c.Availability < 0.99 {
+			v = append(v, fmt.Sprintf("%s: availability %.4f < 0.99", id, c.Availability))
+		}
+		if c.MissedDetection {
+			v = append(v, id+": missed detection")
+		}
+		if c.FalseAlarm {
+			v = append(v, id+": false alarm")
+		}
+		if c.Leaked {
+			v = append(v, id+": secret leaked")
+		}
+		// Retry/backoff cadence consistency: backoff is charged per
+		// retry at >= the base, re-routes are a subset of retries, and
+		// the no-fault control cells must need no retries at all.
+		switch {
+		case c.Retries == 0 && (c.BackoffTicks != 0 || c.Reroutes != 0):
+			v = append(v, fmt.Sprintf("%s: backoff/reroutes without retries (%d/%d)", id, c.BackoffTicks, c.Reroutes))
+		case c.Retries > 0 && c.BackoffTicks < c.Retries*r.RetryBackoff:
+			v = append(v, fmt.Sprintf("%s: %d retries charged only %d backoff ticks (base %d)", id, c.Retries, c.BackoffTicks, r.RetryBackoff))
+		case c.Reroutes > c.Retries:
+			v = append(v, fmt.Sprintf("%s: %d reroutes > %d retries", id, c.Reroutes, c.Retries))
+		}
+		if c.Fault == "none" && c.Attack == "none" && c.Retries != 0 {
+			v = append(v, fmt.Sprintf("%s: %d retries in the no-fault control", id, c.Retries))
+		}
+		if !c.Rotation && c.Rotations != 0 {
+			v = append(v, id+": rotation disabled but counted")
+		}
+		if c.Rotation && c.Fault == "none" && c.Rotations == 0 {
+			v = append(v, id+": rotation enabled but none completed")
+		}
+		if c.Fault == "group-restart" && c.Restarts == 0 {
+			v = append(v, id+": group-restart plan drove no restarts")
+		}
+	}
+	return v
+}
+
+// Fprint writes the human-readable matrix summary.
+func (r *ChaosCampaignResult) Fprint(w io.Writer) {
+	s := r.Summary
+	fmt.Fprintf(w, "Unified mesh×chaos campaign (seed %d, policy %s, retry budget %d): %d cells\n",
+		r.Seed, r.Policy, r.RetryBudget, s.Cells)
+	fmt.Fprintf(w, "  benign: %d ok, %d shed, %d errors; min availability %.4f\n",
+		s.BenignOK, s.BenignShed, s.BenignErrs, s.MinAvailability)
+	fmt.Fprintf(w, "  retries: %d (%d rerouted, %d backoff ticks); rotations %d; restarts %d\n",
+		s.Retries, s.Reroutes, s.BackoffTicks, s.Rotations, s.Restarts)
+	fmt.Fprintf(w, "  detections %d/%d probes; false alarms %d; leaks %d\n",
+		s.Detections, s.Probes, s.FalseAlarms, s.Leaks)
+	fmt.Fprintf(w, "  %-6s %-9s %-14s %-10s %12s %8s %9s %8s %10s\n",
+		"pools", "rotation", "fault", "attack", "availability", "retries", "reroutes", "backoff", "rotations")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "  %-6d %-9t %-14s %-10s %12.4f %8d %9d %8d %10d\n",
+			c.Pools, c.Rotation, c.Fault, c.Attack, c.Availability, c.Retries, c.Reroutes, c.BackoffTicks, c.Rotations)
+	}
+}
+
+// RunChaosCampaign executes the unified campaign and returns the
+// matrix.
+func RunChaosCampaign(cfg ChaosCampaignConfig) (*ChaosCampaignResult, error) {
+	cfg = cfg.withDefaults()
+	for _, plan := range cfg.Faults {
+		if plan.Kernel != nil && plan.Kernel.CrashAfter > 0 {
+			return nil, fmt.Errorf("mesh chaos campaign: kernel crash plan %q cannot replay across a pool (see chaos fleet cells)", plan.Name)
+		}
+	}
+	res := &ChaosCampaignResult{
+		Seed:         cfg.Seed,
+		Requests:     cfg.Requests,
+		Groups:       cfg.Groups,
+		RotateEvery:  cfg.RotateEvery,
+		RetryBudget:  cfg.RetryBudget,
+		RetryBackoff: cfg.RetryBackoff,
+		Policy:       cfg.Policy.String(),
+	}
+	for _, p := range cfg.Pools {
+		for _, rotation := range cfg.Rotations {
+			for _, plan := range cfg.Faults {
+				for _, att := range cfg.Attacks {
+					cell, err := runChaosCell(cfg, p, rotation, plan, att)
+					if err != nil {
+						return nil, fmt.Errorf("mesh chaos campaign: cell p=%d rotation=%t fault=%s attack=%s: %w",
+							p, rotation, plan.Name, att, err)
+					}
+					res.Cells = append(res.Cells, cell)
+				}
+			}
+		}
+	}
+	res.Summary = summarizeChaosCampaign(res)
+	return res, nil
+}
+
+// runChaosCell runs one P × rotation × fault × attack cell.
+func runChaosCell(cfg ChaosCampaignConfig, pools int, rotation bool, plan chaos.Plan, att string) (ChaosCell, error) {
+	cell := ChaosCell{Pools: pools, Rotation: rotation, Fault: plan.Name, Attack: att}
+	seed := campaignCellSeed(cfg.Seed, "meshchaos", fmt.Sprint(pools), fmt.Sprint(rotation), plan.Name, att)
+
+	opts := Options{
+		Pools:        pools,
+		Policy:       cfg.Policy,
+		Seed:         seed,
+		RetryBudget:  cfg.RetryBudget,
+		RetryBackoff: cfg.RetryBackoff,
+		Obs:          cfg.Obs,
+		Fleet: fleet.Options{
+			Groups: cfg.Groups,
+			Config: harness.Config4UIDVariation,
+			Server: httpd.DefaultOptions(),
+		},
+	}
+	if rotation {
+		opts.RotateEvery = cfg.RotateEvery
+	}
+	// Thread the plan into every pool: each pool's injector and hook
+	// draw from the pool's own derived seed (offset so the two streams
+	// decorrelate), and the fleet carries them into every group it
+	// spawns — including rotation replacements and respawns.
+	if plan.Net != nil {
+		np := plan.Net
+		opts.Faults = func(poolSeed int64) simnet.FaultInjector { return np.Injector(poolSeed + 1) }
+	}
+	if plan.Kernel != nil {
+		kp := plan.Kernel
+		opts.Kernel = func(poolSeed int64) []nvkernel.Option {
+			return []nvkernel.Option{nvkernel.WithFaultHook(kp.Hook(poolSeed + 2))}
+		}
+	}
+	m, err := New(opts)
+	if err != nil {
+		return cell, err
+	}
+	defer func() { _, _ = m.Stop() }()
+
+	sessions := make([]*Session, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = m.Session(fmt.Sprintf("client-%d", i))
+	}
+
+	// Benign phase, serialized, with restart-under-load: before every
+	// RestartEvery-th request the plan shuts down the oldest group of a
+	// deterministically walked pool, and the cell waits for the
+	// replacement before dispatching on — the group-crash fault the
+	// mesh must absorb without losing a request.
+	for r := 0; r < cfg.Requests; r++ {
+		if plan.RestartEvery > 0 && r > 0 && r%plan.RestartEvery == 0 {
+			pi := (r/plan.RestartEvery - 1) % pools
+			f := m.Pool(pi)
+			before := f.Stats().Replaced
+			if id := f.OldestGroupID(); id >= 0 && f.ShutdownGroup(id) {
+				cell.Restarts++
+				if err := f.Await(func(s fleet.Stats) bool {
+					return s.Replaced > before && len(s.Healthy) >= cfg.Groups
+				}, 15*time.Second); err != nil {
+					return cell, err
+				}
+			}
+		}
+		code, _, err := sessions[r%len(sessions)].Get(benignMix[r%len(benignMix)])
+		switch {
+		case errors.Is(err, ErrSaturated):
+			cell.BenignShed++
+		case err == nil && code == 200:
+			cell.BenignOK++
+		case errors.Is(err, ErrQuorumLostKill):
+			cell.BenignQuorumKills++
+			cell.BenignErrs++
+		case errors.Is(err, ErrQuarantineWindow):
+			cell.BenignQuarantines++
+			cell.BenignErrs++
+		default:
+			cell.BenignErrs++
+		}
+		if rotation {
+			want := m.Ticks() / cfg.RotateEvery
+			if err := m.Await(func(s Stats) bool {
+				return s.RotationsHandled >= want
+			}, 30*time.Second); err != nil {
+				return cell, err
+			}
+		}
+	}
+	cell.Availability = availability(cell.BenignOK, cell.BenignShed, cell.BenignErrs)
+
+	// Attack phase: forged-UID probes against the pool each attacker
+	// key routes to, striking its oldest group directly (the
+	// attacker-knows-a-backend model, same as the chaos fleet cells).
+	// The direct client rides the pool's faulted network segment, so
+	// the adaptive probe rounds also prove detection is not maskable
+	// by the fault plan.
+	if att == "forge-uid" {
+		cell.Probes = cfg.Probes
+		rng := rand.New(rand.NewSource(seed + 3))
+		perPool := make([]int, pools)
+		for i := 0; i < cfg.Probes; i++ {
+			payload := attack.ForgeUIDPayload(word.Word(rng.Uint32()) &^ word.HighBit)
+			pi := m.RouteKey(fmt.Sprintf("attacker-%d", i))
+			f := m.Pool(pi)
+			port, ok := oldestGroupPort(f)
+			if !ok {
+				break
+			}
+			direct := httpd.NewClient(f.Net(), port)
+			detected := false
+			for round := 0; round < 8 && !detected; round++ {
+				if _, err := direct.Raw(payload); errors.Is(err, simnet.ErrRefused) {
+					detected = true
+					break
+				}
+				for t := 0; t < 64 && !detected; t++ {
+					code, body, err := direct.Get("/private/secret.html")
+					switch {
+					case errors.Is(err, simnet.ErrRefused):
+						detected = true
+					case err == nil && code == 200 && httpd.ContainsSecret(body):
+						cell.Leaked = true
+					}
+				}
+			}
+			if !detected {
+				break
+			}
+			perPool[pi]++
+			want := perPool[pi]
+			if err := f.Await(func(s fleet.Stats) bool {
+				return s.Detections >= want && len(s.Healthy) >= cfg.Groups
+			}, 30*time.Second); err != nil {
+				return cell, err
+			}
+		}
+	}
+
+	stats, err := m.Stop()
+	if err != nil {
+		return cell, err
+	}
+	cell.Retries = stats.Retries
+	cell.Reroutes = stats.Reroutes
+	cell.BackoffTicks = stats.BackoffTicks
+	cell.Rotations = stats.Rotations
+	cell.RotationsSkipped = stats.RotationsSkipped
+	for _, ps := range stats.Pools {
+		cell.Detections += ps.Fleet.Detections
+	}
+	cell.MissedDetection = cell.Detections < cell.Probes
+	cell.FalseAlarm = cell.Detections > cell.Probes
+
+	// Exposure windows in virtual ticks, as in the rotation campaign —
+	// but only for plans without message reordering. A reorder hold
+	// releases its message on a wall-clock timer, so the server-side
+	// rendezvous it triggers race the drain point and the torn-down
+	// group's vtick age would not replay byte-identically. Every other
+	// fault (drop, truncate, delay, syscall stalls, restarts) resolves
+	// synchronously inside the serialized request, so its vticks are
+	// seed-pure.
+	var samples []uint32
+	if plan.Net == nil || plan.Net.ReorderRate == 0 {
+		for i := 0; i < m.Pools(); i++ {
+			for _, e := range m.Pool(i).Audit().Entries() {
+				switch e.Action {
+				case "rotate", "rotate+replace", "quarantine", "quarantine+replace":
+					samples = append(samples, e.VTime)
+				}
+			}
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	cell.ExposureSamples = len(samples)
+	cell.ExposureP50 = percentileVTicks(samples, 0.50)
+	cell.ExposureP99 = percentileVTicks(samples, 0.99)
+	return cell, nil
+}
+
+// summarizeChaosCampaign computes the headline from the matrix.
+func summarizeChaosCampaign(r *ChaosCampaignResult) ChaosCampaignSummary {
+	s := ChaosCampaignSummary{Cells: len(r.Cells), MinAvailability: 1}
+	for _, c := range r.Cells {
+		s.BenignOK += c.BenignOK
+		s.BenignShed += c.BenignShed
+		s.BenignErrs += c.BenignErrs
+		if c.Availability < s.MinAvailability {
+			s.MinAvailability = c.Availability
+		}
+		s.Retries += c.Retries
+		s.Reroutes += c.Reroutes
+		s.BackoffTicks += c.BackoffTicks
+		s.Rotations += c.Rotations
+		s.Restarts += c.Restarts
+		s.Probes += c.Probes
+		s.Detections += c.Detections
+		if c.FalseAlarm {
+			s.FalseAlarms++
+		}
+		if c.Leaked {
+			s.Leaks++
+		}
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package mesh
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nvariant/internal/chaos"
+	"nvariant/internal/obs"
+)
+
+// testChaosConfig is the reduced sweep the determinism tests replay:
+// both pool counts and rotation settings, but only the fault plans
+// that exercise distinct machinery (control, lossy wire, group crash)
+// so the double-run stays fast under -race.
+func testChaosConfig(seed int64) ChaosCampaignConfig {
+	return ChaosCampaignConfig{
+		Seed:     seed,
+		Requests: 12,
+		Pools:    []int{1, 2},
+		Groups:   2,
+		Probes:   1,
+		Faults:   testChaosPlans(),
+	}
+}
+
+func testChaosPlans() []chaos.Plan {
+	var out []chaos.Plan
+	for _, name := range []string{"none", "net-mixed", "group-restart"} {
+		p, err := chaos.PlanByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestChaosCampaignByteIdentical: the same seed reproduces the unified
+// mesh×chaos matrix byte for byte — every retry, re-route, backoff
+// tick, restart, and exposure sample is a function of the seed alone.
+// The CI mesh-chaos-smoke job replays this cross-process via
+// cmd/meshbench; this test pins it in-tree.
+func TestChaosCampaignByteIdentical(t *testing.T) {
+	cfg := testChaosConfig(42)
+	r1, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := r2.JSON()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed chaos campaign not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", b1, b2)
+	}
+	if v := r1.Check(); len(v) != 0 {
+		t.Fatalf("campaign contract violations: %v\n%s", v, b1)
+	}
+	// The lossy plan must have exercised the retry machinery somewhere
+	// in the matrix — a sweep where net-mixed needed zero retries is
+	// not stressing anything.
+	var lossyRetries uint64
+	for _, c := range r1.Cells {
+		if c.Fault == "net-mixed" {
+			lossyRetries += c.Retries
+		}
+	}
+	if lossyRetries == 0 {
+		t.Error("net-mixed cells needed no retries — the sweep is not exercising recovery")
+	}
+}
+
+// TestChaosCampaignNarrowedCellParity: narrowing the sweep (the
+// meshbench -chaos rerun flags) replays single cells bit-for-bit,
+// because cell seeds derive from cell labels rather than sweep
+// position.
+func TestChaosCampaignNarrowedCellParity(t *testing.T) {
+	full, err := RunChaosCampaign(testChaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowed := testChaosConfig(7)
+	narrowed.Pools = []int{2}
+	narrowed.Rotations = []bool{true}
+	narrowed.Faults = []chaos.Plan{mustPlan(t, "net-mixed")}
+	narrowed.Attacks = []string{"forge-uid"}
+	sub, err := RunChaosCampaign(narrowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Cells) != 1 {
+		t.Fatalf("narrowed run produced %d cells, want 1", len(sub.Cells))
+	}
+	want := findChaosCell(t, full, 2, true, "net-mixed", "forge-uid")
+	if !reflect.DeepEqual(sub.Cells[0], want) {
+		t.Errorf("narrowed cell diverged from the full matrix:\nfull:     %+v\nnarrowed: %+v", want, sub.Cells[0])
+	}
+}
+
+func mustPlan(t *testing.T, name string) chaos.Plan {
+	t.Helper()
+	p, err := chaos.PlanByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func findChaosCell(t *testing.T, r *ChaosCampaignResult, pools int, rotation bool, fault, attack string) ChaosCell {
+	t.Helper()
+	for _, c := range r.Cells {
+		if c.Pools == pools && c.Rotation == rotation && c.Fault == fault && c.Attack == attack {
+			return c
+		}
+	}
+	t.Fatalf("cell p=%d rotation=%t fault=%s attack=%s not in matrix", pools, rotation, fault, attack)
+	return ChaosCell{}
+}
+
+// TestChaosCampaignInstrumentationPreservesJSON: attaching an obs
+// registry must not perturb the matrix, and the registry must carry
+// the new retry/health metric families afterwards.
+func TestChaosCampaignInstrumentationPreservesJSON(t *testing.T) {
+	cfg := ChaosCampaignConfig{
+		Seed:     17,
+		Requests: 8,
+		Pools:    []int{2},
+		Groups:   2,
+		Probes:   1,
+		Faults:   testChaosPlans(),
+	}
+	plain, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.NewRegistry()
+	instr, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := plain.JSON()
+	ib, _ := instr.JSON()
+	if !bytes.Equal(pb, ib) {
+		t.Fatalf("instrumentation changed the matrix:\n--- plain ---\n%s\n--- instrumented ---\n%s", pb, ib)
+	}
+	var text bytes.Buffer
+	if err := cfg.Obs.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"mesh_retries_total", "mesh_reroutes_total", "mesh_retry_backoff_ticks", "mesh_pool_health",
+	} {
+		if !bytes.Contains(text.Bytes(), []byte(family)) {
+			t.Errorf("registry missing %s after instrumented chaos campaign", family)
+		}
+	}
+}
+
+// TestChaosCampaignRejectsCrashPlans: kernel crash plans cannot replay
+// across a pool (the chaos fleet cells document why), so the unified
+// campaign refuses them instead of emitting a nondeterministic matrix.
+func TestChaosCampaignRejectsCrashPlans(t *testing.T) {
+	cfg := testChaosConfig(1)
+	cfg.Faults = append(cfg.Faults, mustPlan(t, "variant-crash"))
+	if _, err := RunChaosCampaign(cfg); err == nil {
+		t.Fatal("campaign accepted a kernel crash plan")
+	}
+}
+
+// TestChaosCampaignCheckFlagsViolations: Check is the CI gate — make
+// sure each contract clause actually fires on a bad matrix.
+func TestChaosCampaignCheckFlagsViolations(t *testing.T) {
+	r := &ChaosCampaignResult{
+		RetryBackoff: 2,
+		Cells: []ChaosCell{
+			// availability floor + retries in the no-fault control
+			{Pools: 1, Fault: "none", Attack: "none", Availability: 0.5, Retries: 3, BackoffTicks: 6},
+			// backoff/reroutes without retries
+			{Pools: 1, Fault: "net-mixed", Attack: "none", Availability: 1, BackoffTicks: 4},
+			// under-charged backoff
+			{Pools: 1, Fault: "net-mixed", Attack: "none", Availability: 1, Retries: 4, BackoffTicks: 2},
+			// reroutes exceeding retries
+			{Pools: 2, Fault: "net-mixed", Attack: "none", Availability: 1, Retries: 1, BackoffTicks: 2, Reroutes: 3},
+			// rotation counted while disabled + restart plan without restarts
+			{Pools: 1, Rotation: false, Fault: "group-restart", Attack: "none", Availability: 1, Rotations: 2},
+			// rotation enabled but never ran, missed detection, false alarm, leak
+			{Pools: 1, Rotation: true, Fault: "none", Attack: "forge-uid", Availability: 1,
+				Probes: 2, Detections: 1, MissedDetection: true, FalseAlarm: true, Leaked: true},
+		},
+	}
+	v := r.Check()
+	want := 11
+	if len(v) != want {
+		t.Fatalf("Check found %d violations, want %d:\n%v", len(v), want, v)
+	}
+}

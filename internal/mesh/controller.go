@@ -86,6 +86,18 @@ func (c *controller) rotateOnce() {
 	m := c.m
 	p := m.pools[c.rng.Intn(len(m.pools))]
 	f := p.fleet
+	// A sick pool is already absorbing faults — draining one of its
+	// groups on schedule would stack administrative churn on top of
+	// fault recovery and push it below the floor. Skip its turn (the
+	// trigger still counts as handled; the RNG draw is already
+	// consumed, so the seeded schedule stays aligned).
+	if p.sick(m) {
+		c.skipped.Add(1)
+		if m.obs != nil {
+			m.obs.rotSkipped.Inc()
+		}
+		return
+	}
 	before := f.Stats()
 	healthy := len(before.Healthy)
 	if healthy <= m.opts.AvailabilityFloor {
@@ -143,8 +155,11 @@ func oldestNonDraining(groups []fleet.GroupInfo) *fleet.GroupInfo {
 // reviewOnce runs one elastic-sizing pass over every pool: compare the
 // peak in-flight load since the last review against current capacity
 // (healthy groups × worker lanes) and grow or shrink within
-// [MinGroups, MaxGroups]. Shrink retires the *newest* group — the
-// oldest slots are the rotation scheduler's concern.
+// [MinGroups, MaxGroups]. A sick pool grows regardless of load ratio —
+// fault-induced pressure (sheds, failed dispatches, quarantines) is
+// demand for capacity even when inflight never peaked — and is never
+// shrunk while sick. Shrink retires the *newest* group — the oldest
+// slots are the rotation scheduler's concern.
 func (c *controller) reviewOnce() {
 	m := c.m
 	workers := m.opts.Fleet.Workers
@@ -158,16 +173,17 @@ func (c *controller) reviewOnce() {
 		if healthy == 0 {
 			continue
 		}
+		sick := p.sick(m)
 		ratio := float64(peak) / float64(healthy*workers)
 		switch {
-		case ratio >= m.opts.GrowAt && healthy < m.opts.MaxGroups:
+		case (ratio >= m.opts.GrowAt || sick) && healthy < m.opts.MaxGroups:
 			if _, err := f.Grow(); err == nil {
 				c.grown.Add(1)
 				if m.obs != nil {
 					m.obs.grows.Inc()
 				}
 			}
-		case ratio <= m.opts.ShrinkAt && healthy > m.opts.MinGroups:
+		case ratio <= m.opts.ShrinkAt && !sick && healthy > m.opts.MinGroups:
 			groups := f.LiveGroups()
 			for i := len(groups) - 1; i >= 0; i-- {
 				if groups[i].Draining {

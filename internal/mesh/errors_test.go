@@ -1,0 +1,72 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestDispatchErrorRoundTrip: every sentinel's stable label resolves
+// back to the identical sentinel, and classification survives wrapping
+// — the property campaigns rely on when re-deriving typed outcomes
+// from a serialized matrix.
+func TestDispatchErrorRoundTrip(t *testing.T) {
+	for _, s := range dispatchSentinels {
+		name := DispatchErrorName(s)
+		if name == "" {
+			t.Fatalf("sentinel %v has no stable label", s)
+		}
+		back, ok := DispatchErrorByName(name)
+		if !ok {
+			t.Fatalf("label %q does not resolve", name)
+		}
+		if back != s {
+			t.Errorf("label %q resolved to %v, want %v", name, back, s)
+		}
+		// Wrapped sentinels keep their label.
+		wrapped := fmt.Errorf("outer context: %w", s)
+		if got := DispatchErrorName(wrapped); got != name {
+			t.Errorf("wrapped %q labeled %q", name, got)
+		}
+	}
+	if got := DispatchErrorName(errors.New("unrelated")); got != "" {
+		t.Errorf("unrelated error labeled %q, want empty", got)
+	}
+	if _, ok := DispatchErrorByName("no-such-label"); ok {
+		t.Error("unknown label resolved to a sentinel")
+	}
+}
+
+// TestClassifyDispatchError pins the attribution rules: quorum kills
+// outrank quarantines, already-typed errors and nil pass through, and
+// an un-raced transport error stays untyped.
+func TestClassifyDispatchError(t *testing.T) {
+	base := errors.New("connection reset")
+	cases := []struct {
+		name        string
+		err         error
+		alarms      uint64
+		quorum      uint64
+		wantLabel   string
+		wantPassRaw bool
+	}{
+		{"nil passes", nil, 3, 3, "", true},
+		{"saturated passes", ErrSaturated, 1, 1, "saturated", true},
+		{"bad-response passes", fmt.Errorf("%w: status 400", ErrBadResponse), 1, 0, "bad-response", false},
+		{"quorum outranks quarantine", base, 2, 1, "quorum-lost-kill", false},
+		{"quarantine window", base, 1, 0, "quarantine-window", false},
+		{"unraced stays untyped", base, 0, 0, "", false},
+	}
+	for _, tc := range cases {
+		got := classifyDispatchError(tc.err, tc.alarms, tc.quorum)
+		if label := DispatchErrorName(got); label != tc.wantLabel {
+			t.Errorf("%s: label %q, want %q", tc.name, label, tc.wantLabel)
+		}
+		if tc.wantPassRaw && !errors.Is(got, tc.err) && got != nil {
+			t.Errorf("%s: classified error lost the original", tc.name)
+		}
+		if tc.err != nil && got != nil && !errors.Is(got, tc.err) {
+			t.Errorf("%s: wrap dropped the underlying error", tc.name)
+		}
+	}
+}

@@ -32,7 +32,9 @@ import (
 	"time"
 
 	"nvariant/internal/fleet"
+	"nvariant/internal/nvkernel"
 	"nvariant/internal/obs"
+	"nvariant/internal/simnet"
 )
 
 // Default option values.
@@ -52,6 +54,16 @@ const (
 	// peak-inflight/capacity thresholds.
 	DefaultGrowAt   = 0.75
 	DefaultShrinkAt = 0.20
+	// DefaultRetryBackoff is the base retry backoff in mesh ticks; the
+	// k-th retry of a dispatch backs off DefaultRetryBackoff << (k-1)
+	// ticks before re-routing.
+	DefaultRetryBackoff uint64 = 2
+	// DefaultHealthHalfLife is the dispatch-tick half-life of a pool's
+	// health penalty score.
+	DefaultHealthHalfLife uint64 = 64
+	// DefaultHealthSickAt is the decayed penalty score at which a pool
+	// counts as sick: the router demotes it and rotation skips it.
+	DefaultHealthSickAt int64 = 16
 	// affinitySlots sizes the sticky-routing table (fixed so the lookup
 	// path allocates nothing).
 	affinitySlots = 4096
@@ -135,9 +147,36 @@ type Options struct {
 	// Seed drives pool-fleet seeds, router salts, and the rotation
 	// schedule; 0 means a fixed default so runs are reproducible.
 	Seed int64
+	// RetryBudget, when positive, lets a session retry a failed
+	// dispatch up to RetryBudget times: each retry backs off a
+	// vtick-counted window (RetryBackoff << attempt, charged to the
+	// mesh clock) and re-routes to the next-ranked rendezvous pool.
+	// An exhausted budget surfaces as ErrRetriesExhausted. 0 disables
+	// retries; the single-attempt path is unchanged and allocation-free.
+	RetryBudget int
+	// RetryBackoff is the base backoff in mesh ticks (default
+	// DefaultRetryBackoff).
+	RetryBackoff uint64
+	// HealthHalfLife is the dispatch-tick half-life of each pool's
+	// health penalty score (default DefaultHealthHalfLife).
+	HealthHalfLife uint64
+	// HealthSickAt is the decayed penalty score at which a pool is
+	// demoted by the router and skipped by rotation (default
+	// DefaultHealthSickAt).
+	HealthSickAt int64
+	// Faults, when set, is called once per pool with the pool's derived
+	// fleet seed and returns the fault injector installed on that
+	// pool's network segment — the chaos data-plane plans threaded
+	// through routing. Nil pools run fault-free.
+	Faults func(poolSeed int64) simnet.FaultInjector
+	// Kernel, when set, is called once per pool with the pool's derived
+	// fleet seed and returns the kernel options (fault hooks) every
+	// group in that pool — initial, replacement, and respawned — runs
+	// with.
+	Kernel func(poolSeed int64) []nvkernel.Option
 	// Fleet is the per-pool fleet template. Seed, BasePort, PortSpan,
-	// and Obs are derived per pool from the mesh options; everything
-	// else applies as given.
+	// Faults, Kernel, and Obs are derived per pool from the mesh
+	// options; everything else applies as given.
 	Fleet fleet.Options
 	// Obs, when set, instruments the mesh (mesh_* series) and every
 	// pool fleet under it. Nil runs uninstrumented.
@@ -183,6 +222,15 @@ func (o Options) withDefaults() Options {
 	if o.ShrinkAt <= 0 {
 		o.ShrinkAt = DefaultShrinkAt
 	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = DefaultRetryBackoff
+	}
+	if o.HealthHalfLife == 0 {
+		o.HealthHalfLife = DefaultHealthHalfLife
+	}
+	if o.HealthSickAt <= 0 {
+		o.HealthSickAt = DefaultHealthSickAt
+	}
 	return o
 }
 
@@ -200,6 +248,11 @@ type pool struct {
 	// served / shed are the pool's settled dispatch outcomes.
 	served atomic.Int64
 	shed   atomic.Int64
+	// health is the pool's fixed-point fault-penalty score, decayed
+	// lazily on the mesh tick clock (see health.go); healthTick is the
+	// tick the score was last decayed to.
+	health     atomic.Int64
+	healthTick atomic.Uint64
 }
 
 // admit reserves one in-flight slot, or reports saturation. limit <= 0
@@ -233,13 +286,26 @@ type Mesh struct {
 	affinity []atomic.Uint64
 	// rrAssign spreads first-seen affinity claims round-robin.
 	rrAssign atomic.Uint64
-	// ticks is the mesh clock: one tick per completed dispatch — the
-	// rendezvous-ticked cadence rotation and elasticity run on.
+	// ticks is the mesh clock: one tick per completed dispatch plus one
+	// per charged retry-backoff tick — the wall-clock-free cadence
+	// rotation, elasticity, and health decay run on. Backoff charges
+	// advance the clock so the controllers see fault-induced stalls as
+	// elapsed time.
 	ticks atomic.Uint64
-	ctl   *controller
-	audit *fleet.MultiAudit
-	obs   *metrics
-	wg    sync.WaitGroup
+	// dispatched counts completed dispatches only (Stats.Dispatched);
+	// it diverges from ticks once retries charge backoff.
+	dispatched atomic.Uint64
+	// retries / reroutes / backoffTicks are the retry machinery's
+	// settled outcomes: attempts past the first, attempts that landed
+	// on a different pool than the session's home, and total backoff
+	// ticks charged to the clock.
+	retries      atomic.Uint64
+	reroutes     atomic.Uint64
+	backoffTicks atomic.Uint64
+	ctl          *controller
+	audit        *fleet.MultiAudit
+	obs          *metrics
+	wg           sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -276,6 +342,16 @@ func New(opts Options) (*Mesh, error) {
 		fo.PortSpan = opts.PortStride
 		fo.Seed = poolSeed(opts.Seed, i)
 		fo.Obs = opts.Obs
+		// Per-pool fault threading: each pool's injector and kernel
+		// hooks draw from the pool's own derived seed, and the fleet
+		// carries them into every group it ever spawns — initial,
+		// replacement, and respawned.
+		if opts.Faults != nil {
+			fo.Faults = opts.Faults(fo.Seed)
+		}
+		if opts.Kernel != nil {
+			fo.Kernel = opts.Kernel(fo.Seed)
+		}
 		f, err := fleet.New(fo)
 		if err != nil {
 			_, _ = m.Stop()
@@ -314,7 +390,8 @@ func (m *Mesh) Pool(i int) *fleet.Fleet { return m.pools[i].fleet }
 // pool (an obs.AuditSource for the ops /audit endpoint).
 func (m *Mesh) Audit() *fleet.MultiAudit { return m.audit }
 
-// Ticks returns the mesh clock: completed dispatches so far.
+// Ticks returns the mesh clock: completed dispatches plus charged
+// retry-backoff ticks.
 func (m *Mesh) Ticks() uint64 { return m.ticks.Load() }
 
 // RotationsHandled returns how many rotation triggers the controller
@@ -322,14 +399,11 @@ func (m *Mesh) Ticks() uint64 { return m.ticks.Load() }
 // await this to settle before reading counters.
 func (m *Mesh) RotationsHandled() uint64 { return m.ctl.rotHandled.Load() }
 
-// tick advances the mesh clock after a completed dispatch and fires
-// the controllers on their cadences. Hot path: atomic adds and a
-// non-blocking channel send only.
+// tick advances the mesh clock (one completed dispatch or one charged
+// backoff tick) and fires the controllers on their cadences. Hot path:
+// atomic adds and a non-blocking channel send only.
 func (m *Mesh) tick() {
 	t := m.ticks.Add(1)
-	if m.obs != nil {
-		m.obs.dispatched.Inc()
-	}
 	kick := false
 	if re := m.opts.RotateEvery; re > 0 && t%re == 0 {
 		m.ctl.rotWanted.Add(1)
@@ -341,6 +415,42 @@ func (m *Mesh) tick() {
 	}
 	if kick {
 		m.ctl.kick()
+	}
+}
+
+// chargeBackoff advances the mesh clock by n backoff ticks, one at a
+// time so every cadence boundary inside the window still fires its
+// trigger. The clock is the only notion of time retries wait on —
+// never the wall clock — which keeps seeded campaigns byte-identical.
+func (m *Mesh) chargeBackoff(n uint64) {
+	m.backoffTicks.Add(n)
+	if m.obs != nil {
+		m.obs.backoff.Add(n)
+	}
+	for i := uint64(0); i < n; i++ {
+		m.tick()
+	}
+}
+
+// settleControllers blocks (bounded by RecoverTimeout) until every
+// rotation and sizing trigger fired so far has been fully handled.
+// The retry path calls this after charging backoff: on the vtick
+// clock, "waiting out the backoff" means letting the control-plane
+// work those ticks scheduled finish — which is also what keeps a
+// retried dispatch from racing a rotation its own backoff triggered,
+// so seeded campaign runs stay byte-identical. Only wall-clock
+// polling lives here; no decision depends on real time.
+func (m *Mesh) settleControllers() {
+	deadline := time.Now().Add(m.opts.RecoverTimeout)
+	for {
+		if m.ctl.rotHandled.Load() >= m.ctl.rotWanted.Load() &&
+			m.ctl.elHandled.Load() >= m.ctl.elWanted.Load() {
+			return
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -356,10 +466,18 @@ type PoolStats struct {
 type Stats struct {
 	// Policy is the active routing policy.
 	Policy RouterPolicy
-	// Dispatched counts completed dispatches (= mesh clock ticks).
+	// Dispatched counts completed dispatches. The mesh clock (Ticks)
+	// additionally counts charged retry-backoff ticks.
 	Dispatched uint64
 	// Shed counts dispatches refused by admission control.
 	Shed int64
+	// Retries counts dispatch attempts past each request's first;
+	// Reroutes counts retries that landed on a pool other than the
+	// session's home; BackoffTicks is the total backoff charged to the
+	// mesh clock.
+	Retries      uint64
+	Reroutes     uint64
+	BackoffTicks uint64
 	// Rotations / RotationsSkipped are the controller's moving-target
 	// outcomes; Handled = Rotations + RotationsSkipped triggers fully
 	// processed.
@@ -379,8 +497,8 @@ type Stats struct {
 
 // String renders a one-line mesh summary plus per-pool lines.
 func (s Stats) String() string {
-	out := fmt.Sprintf("mesh[%s]: %d pools, %d dispatched, %d shed, %d rotations (%d skipped), %d grown, %d shrunk",
-		s.Policy, len(s.Pools), s.Dispatched, s.Shed, s.Rotations, s.RotationsSkipped, s.Grown, s.Shrunk)
+	out := fmt.Sprintf("mesh[%s]: %d pools, %d dispatched, %d shed, %d retries (%d rerouted, %d backoff ticks), %d rotations (%d skipped), %d grown, %d shrunk",
+		s.Policy, len(s.Pools), s.Dispatched, s.Shed, s.Retries, s.Reroutes, s.BackoffTicks, s.Rotations, s.RotationsSkipped, s.Grown, s.Shrunk)
 	for _, p := range s.Pools {
 		out += fmt.Sprintf("\n pool %d: served=%d shed=%d healthy=%d detections=%d rotated=%d",
 			p.Pool, p.Served, p.Shed, len(p.Fleet.Healthy), p.Fleet.Detections, p.Fleet.Rotated)
@@ -392,7 +510,10 @@ func (s Stats) String() string {
 func (m *Mesh) Stats() Stats {
 	s := Stats{
 		Policy:           m.opts.Policy,
-		Dispatched:       m.ticks.Load(),
+		Dispatched:       m.dispatched.Load(),
+		Retries:          m.retries.Load(),
+		Reroutes:         m.reroutes.Load(),
+		BackoffTicks:     m.backoffTicks.Load(),
 		Rotations:        m.ctl.rotated.Load(),
 		RotationsSkipped: m.ctl.skipped.Load(),
 		RotationsHandled: m.ctl.rotHandled.Load(),
